@@ -1,0 +1,47 @@
+"""Shared reporting helper for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures or claims; the
+rows it produces are printed and also written under
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can reference
+stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(experiment: str, title: str, lines: list[str]) -> str:
+    """Print and persist one experiment's regenerated rows."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join([f"# {experiment}: {title}"] + lines) + "\n"
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w") as fh:
+        fh.write(text)
+    print("\n" + text)
+    return path
+
+
+def dominant_system(n: int, seed: int = 0):
+    """Random diagonally dominant tridiagonal system (shared workload)."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    b = rng.uniform(-1, 1, n)
+    c = rng.uniform(-1, 1, n)
+    a = np.abs(b) + np.abs(c) + rng.uniform(1.0, 2.0, n)
+    f = rng.uniform(-5, 5, n)
+    return b, a, c, f
+
+
+def dominant_systems(m: int, n: int, seed: int = 0):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    B = rng.uniform(-1, 1, (m, n))
+    C = rng.uniform(-1, 1, (m, n))
+    A = np.abs(B) + np.abs(C) + rng.uniform(1.0, 2.0, (m, n))
+    F = rng.uniform(-5, 5, (m, n))
+    return B, A, C, F

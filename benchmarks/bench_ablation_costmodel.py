@@ -1,0 +1,57 @@
+"""A1 -- ablation: where parallel tridiagonal solving pays off.
+
+Section 6 notes that the effectiveness of the constructs "will depend on
+many factors, including the communications capabilities of
+architectures."  This ablation sweeps the message startup latency alpha
+and finds the crossover where the substructured parallel solver stops
+beating the sequential Thomas algorithm -- the regime boundary a KF1
+user would consult the performance estimator for.
+"""
+
+from benchmarks._report import dominant_system, report
+from repro.kernels.substructured import substructured_tri_solve
+from repro.machine import CostModel, Machine
+
+
+def run(n=2048, p=16, alphas=(1e-6, 1e-5, 1e-4, 1e-3, 1e-2)):
+    b, a, c, f = dominant_system(n, seed=20)
+    rows = []
+    for alpha in alphas:
+        cost = CostModel(
+            alpha=alpha, beta=1e-7, gamma_hop=alpha / 10, flop_time=1e-6,
+            send_overhead=alpha / 2,
+        )
+        _, trace = substructured_tri_solve(
+            b, a, c, f, p, machine=Machine(n_procs=p, cost=cost)
+        )
+        t_seq = cost.compute_time(8 * n)  # Thomas ~ 8n flops
+        rows.append(
+            {
+                "alpha": alpha,
+                "parallel": trace.makespan(),
+                "sequential": t_seq,
+                "speedup": t_seq / trace.makespan(),
+            }
+        )
+    return rows
+
+
+def test_costmodel_crossover(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["alpha(s)   parallel(s)   sequential(s)   speedup"]
+    for r in rows:
+        lines.append(
+            f"{r['alpha']:<10.0e} {r['parallel']:>11.5f} {r['sequential']:>13.5f}"
+            f" {r['speedup']:>9.2f}"
+        )
+    # cheap communication: clear win; expensive: sequential wins
+    assert rows[0]["speedup"] > 4.0
+    assert rows[-1]["speedup"] < 1.0
+    # speedup decreases monotonically with alpha
+    sp = [r["speedup"] for r in rows]
+    assert all(x >= y for x, y in zip(sp, sp[1:]))
+    report(
+        "A1",
+        "Ablation: parallel-vs-sequential crossover in message latency",
+        lines,
+    )

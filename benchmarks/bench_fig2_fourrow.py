@@ -1,0 +1,81 @@
+"""F2 -- Figure 2: reduction of four rows of a tridiagonal system to two.
+
+At each tree step every active processor receives two boundary pairs
+(four adjacent reduced rows) and eliminates the middle two, so the pair
+count halves.  This benchmark performs the four-row reduction across a
+whole level and checks that the surviving rows still solve to the true
+solution values -- the invariant Figure 2 depicts.
+"""
+
+import numpy as np
+
+from benchmarks._report import dominant_system, report
+from repro.kernels.substructured import (
+    local_reduce,
+    reduce_four_rows,
+    solve_reduced_pairs,
+)
+from repro.kernels.thomas import thomas_solve
+
+
+def run(n=512, p=16):
+    b, a, c, f = dominant_system(n, seed=2)
+    m = n // p
+    x_true = thomas_solve(b, a, c, f)
+    pairs = []
+    for q in range(p):
+        sl = slice(q * m, (q + 1) * m)
+        pairs.append(local_reduce(b[sl], a[sl], c[sl], f[sl]))
+    level_sizes = [2 * p]
+    cur = [(r.first, r.last) for r in pairs]
+    boundaries = [(q * m, (q + 1) * m - 1) for q in range(p)]
+    ok = True
+    while len(cur) > 2:
+        nxt = []
+        nxt_bounds = []
+        for j in range(0, len(cur), 2):
+            first, last, saved = reduce_four_rows(cur[j], cur[j + 1])
+            lo = boundaries[j][0]
+            hi = boundaries[j + 1][1]
+            # surviving pair must be satisfied by the true solution
+            r1 = first[1] * x_true[lo] + first[2] * x_true[hi]
+            if lo > 0:
+                r1 += first[0] * x_true[lo - 1]
+            r2 = last[0] * x_true[lo] + last[1] * x_true[hi]
+            if hi < n - 1:
+                r2 += last[2] * x_true[hi + 1]
+            if abs(r1 - first[3]) > 1e-6 * max(1, abs(first[3])):
+                ok = False
+            if abs(r2 - last[3]) > 1e-6 * max(1, abs(last[3])):
+                ok = False
+            nxt.append((first, last))
+            nxt_bounds.append((lo, hi))
+        cur = nxt
+        boundaries = nxt_bounds
+        level_sizes.append(2 * len(cur))
+    final = solve_reduced_pairs(cur)
+    ok = ok and np.allclose(
+        final,
+        [x_true[boundaries[0][0]], x_true[boundaries[0][1]],
+         x_true[boundaries[1][0]], x_true[boundaries[1][1]]],
+        rtol=1e-6,
+    )
+    return {"sizes": level_sizes, "ok": ok}
+
+
+def test_fig2_four_row_reduction(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result["ok"]
+    sizes = result["sizes"]
+    # each step halves the reduced system: 2p, p, p/2, ..., 4
+    for a, b in zip(sizes, sizes[1:]):
+        assert b == a // 2
+    assert sizes[-1] == 4
+    report(
+        "F2",
+        "Figure 2: four rows reduce to two, preserving the solution",
+        [
+            f"reduced-system sizes per step: {sizes}",
+            f"all surviving rows satisfied by the true solution: {result['ok']}",
+        ],
+    )

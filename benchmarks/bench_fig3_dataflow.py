@@ -1,0 +1,50 @@
+"""F3 -- Figure 3: the data-flow graph of the substructured algorithm.
+
+"During the reduction phase, the number of active processors is reduced
+by two at each step, until finally we have just one active processor.
+During the substitution phase, the number of active processors doubles
+at each stage."  This benchmark regenerates those counts from the Mark
+events in the simulator trace.
+"""
+
+from benchmarks._report import dominant_system, report
+from repro.kernels.substructured import substructured_tri_solve
+
+
+def run(n=1024, p=16):
+    b, a, c, f = dominant_system(n, seed=3)
+    _, trace = substructured_tri_solve(b, a, c, f, p)
+    red = trace.active_procs_by_payload("tri/reduce")
+    sub = trace.active_procs_by_payload("tri/subst")
+    apex = trace.active_procs_by_payload("tri/apex")
+    red_counts = {lvl: len(procs) for (s, lvl), procs in red.items()}
+    sub_counts = {lvl: len(procs) for (s, lvl), procs in sub.items()}
+    apex_counts = {lvl: len(procs) for (s, lvl), procs in apex.items()}
+    return {"p": p, "red": red_counts, "sub": sub_counts, "apex": apex_counts}
+
+
+def test_fig3_dataflow_graph(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    p = result["p"]
+    red, sub = result["red"], result["sub"]
+    lines = [f"p = {p}"]
+    # reduction halves: level 0 -> p, level l -> p / 2^l
+    expect = p
+    for lvl in sorted(red):
+        assert red[lvl] == expect, (lvl, red)
+        lines.append(f"reduction step {lvl}: {red[lvl]} active processors")
+        expect //= 2
+    # apex: one processor
+    (apex_count,) = result["apex"].values()
+    assert apex_count == 1
+    lines.append("apex solve: 1 active processor")
+    # substitution doubles back to p
+    expect = None
+    for lvl in sorted(sub, reverse=True):
+        if expect is None:
+            expect = sub[lvl]
+        assert sub[lvl] == expect
+        lines.append(f"substitution step {lvl}: {sub[lvl]} active processors")
+        expect *= 2
+    assert sub[0] == p
+    report("F3", "Figure 3: active processors halve then double", lines)

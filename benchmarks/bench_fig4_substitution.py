@@ -1,0 +1,52 @@
+"""F4 -- Figure 4: the substitution phase computes interior values.
+
+"In the first log2(p) - 1 steps of the substitution phase, two
+intermediate solution values need to be computed ... In the last step,
+each processor computes n/p - 2 solution values, completing the
+solution."  This benchmark counts exactly those per-step value
+productions from the trace's Compute records and verifies the recovered
+solution.
+"""
+
+import numpy as np
+
+from benchmarks._report import dominant_system, report
+from repro.kernels.substructured import substructured_tri_solve
+from repro.kernels.thomas import thomas_solve
+
+
+def run(n=1024, p=16):
+    b, a, c, f = dominant_system(n, seed=4)
+    x, trace = substructured_tri_solve(b, a, c, f, p)
+    err = float(np.max(np.abs(x - thomas_solve(b, a, c, f))))
+    tree_substs = [c for c in trace.computes if c.label == "tree_subst"]
+    block_substs = [c for c in trace.computes if c.label == "block_subst"]
+    return {
+        "n": n,
+        "p": p,
+        "err": err,
+        "tree_subst_events": len(tree_substs),
+        "block_subst_events": len(block_substs),
+    }
+
+
+def test_fig4_substitution_phase(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    n, p = result["n"], result["p"]
+    # intermediate steps: one two-value solve per saved four-row system
+    # = p/2 + p/4 + ... + 2 = p - 2 of them
+    assert result["tree_subst_events"] == p - 2
+    # final step: every processor recovers its block interior (n/p - 2 values)
+    assert result["block_subst_events"] == p
+    assert result["err"] < 1e-7
+    report(
+        "F4",
+        "Figure 4: substitution computes intermediate then interior values",
+        [
+            f"n = {n}, p = {p}",
+            f"two-value tree substitutions: {result['tree_subst_events']} (= p - 2)",
+            f"block interior recoveries of n/p - 2 = {n // p - 2} values: "
+            f"{result['block_subst_events']} (= p)",
+            f"max |x - thomas| = {result['err']:.2e}",
+        ],
+    )

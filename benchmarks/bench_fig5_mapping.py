@@ -1,0 +1,58 @@
+"""F5 -- Figure 5: shuffle/unshuffle mapping of the data-flow graph.
+
+"This mapping is easy to program, and is advantageous when there are
+multiple tridiagonal systems to be solved."  The ablation: solve m
+systems with the pipelined driver under the contiguous mapping (pair j
+of level l on processor j * 2**l, so processor 0 serves every level)
+versus the shuffle mapping (disjoint processor groups per level).  The
+shuffle mapping should win on makespan and utilization as m grows.
+"""
+
+from benchmarks._report import dominant_systems, report
+from repro.kernels.pipelined import pipelined_multi_tri_solve
+from repro.kernels.substructured import ContiguousMapping, ShuffleMapping
+from repro.machine import CostModel, Machine
+
+
+def run(p=16, n=512, ms=(1, 4, 16)):
+    cost = CostModel.hypercube_1989()
+    rows = []
+    for m in ms:
+        B, A, C, F = dominant_systems(m, n, seed=5)
+        _, t_con = pipelined_multi_tri_solve(
+            B, A, C, F, p, machine=Machine(n_procs=p, cost=cost),
+            mapping_cls=ContiguousMapping,
+        )
+        _, t_shf = pipelined_multi_tri_solve(
+            B, A, C, F, p, machine=Machine(n_procs=p, cost=cost),
+            mapping_cls=ShuffleMapping,
+        )
+        rows.append(
+            {
+                "m": m,
+                "contiguous": t_con.makespan(),
+                "shuffle": t_shf.makespan(),
+                "util_contiguous": t_con.utilization(),
+                "util_shuffle": t_shf.utilization(),
+            }
+        )
+    return rows
+
+
+def test_fig5_mapping_ablation(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["m   contiguous(s)  shuffle(s)  util_cont  util_shuf"]
+    for r in rows:
+        lines.append(
+            f"{r['m']:<3} {r['contiguous']:>12.5f} {r['shuffle']:>11.5f}"
+            f" {r['util_contiguous']:>9.2%} {r['util_shuffle']:>9.2%}"
+        )
+    # shuffle advantage at the largest m (the paper's multi-system case)
+    big = rows[-1]
+    assert big["shuffle"] <= big["contiguous"] * 1.02
+    assert big["util_shuffle"] >= big["util_contiguous"] * 0.98
+    report(
+        "F5",
+        "Figure 5: shuffle vs contiguous mapping for m pipelined systems",
+        lines,
+    )

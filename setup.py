@@ -1,0 +1,13 @@
+"""Legacy setup shim: the offline environment lacks the ``wheel`` package,
+so PEP 660 editable installs fail; this keeps ``pip install -e .`` working
+through setuptools' develop path."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

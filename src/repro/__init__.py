@@ -1,0 +1,97 @@
+"""repro: KF1 parallel language constructs for tensor product computations.
+
+A full reproduction of Mehrotra & Van Rosendale, "Parallel Language
+Constructs for Tensor Product Computations on Loosely Coupled
+Architectures" (ICASE 89-41 / SC 1989), built on a deterministic
+simulated multicomputer.
+
+Layers (see DESIGN.md):
+
+* :mod:`repro.machine` -- the simulated distributed-memory machine;
+* :mod:`repro.lang` -- processor arrays, distributions, distributed
+  arrays, doall loops (the paper's language constructs);
+* :mod:`repro.compiler` -- strip-mining, communication generation,
+  scheduling, performance estimation;
+* :mod:`repro.kernels` -- 1-D kernels: tridiagonal solvers (sequential,
+  substructured, pipelined, cyclic reduction), FFT, splines;
+* :mod:`repro.tensor` -- tensor product algorithms: Jacobi, ADI, 2-D and
+  3-D multigrid with zebra relaxation;
+* :mod:`repro.baselines` -- sequential and hand-message-passing
+  comparison codes.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Machine, ProcessorGrid
+    from repro.tensor import jacobi_kf1
+
+    machine = Machine(n_procs=4)
+    grid = ProcessorGrid((2, 2))
+    f = np.zeros((65, 65))
+    x, trace = jacobi_kf1(machine, grid, f, iters=10)
+    print(trace.summary())
+"""
+
+from repro.machine import (
+    ANY,
+    Barrier,
+    Complete,
+    Compute,
+    CostModel,
+    Hypercube,
+    Line,
+    Machine,
+    Mark,
+    Mesh2D,
+    Now,
+    Recv,
+    Ring,
+    Send,
+    Torus2D,
+    Trace,
+)
+from repro.lang import (
+    Assign,
+    Block,
+    BlockCyclic,
+    Cyclic,
+    DistArray,
+    Distribution,
+    Doall,
+    KaliCtx,
+    OnProc,
+    Owner,
+    ProcessorGrid,
+    Star,
+    loopvars,
+    run_spmd,
+)
+from repro.compiler import estimate_doall, inspector_gather
+from repro.util.errors import (
+    CompileError,
+    DeadlockError,
+    DistributionError,
+    MachineError,
+    ReproError,
+    ValidationError,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # machine
+    "Machine", "CostModel", "Trace",
+    "Complete", "Line", "Ring", "Mesh2D", "Torus2D", "Hypercube",
+    "Compute", "Send", "Recv", "Barrier", "Mark", "Now", "ANY",
+    # language
+    "ProcessorGrid", "DistArray", "Distribution",
+    "Block", "Cyclic", "BlockCyclic", "Star",
+    "Doall", "Owner", "OnProc", "Assign", "loopvars",
+    "KaliCtx", "run_spmd",
+    # compiler
+    "estimate_doall", "inspector_gather",
+    # errors
+    "ReproError", "MachineError", "DeadlockError",
+    "DistributionError", "CompileError", "ValidationError",
+]

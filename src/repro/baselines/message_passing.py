@@ -1,0 +1,119 @@
+"""Listing 2: the hand-written message-passing Jacobi.
+
+This is the program the paper's constructs replace: every processor
+owns an (m+2)x(m+2) block with an explicit halo; the programmer writes
+the guarded sends and receives to all four neighbors, keeps the tags
+straight, orders communication to avoid deadlock, and assembles the
+result.  Its length and fragility -- not its speed -- are the point:
+``bench_loc_ratio`` measures the former and ``bench_kf1_parity`` shows
+the compiled KF1 version matches its performance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.ops import Compute, Recv, Send
+from repro.machine.simulator import Machine
+from repro.util.errors import ValidationError
+from repro.util.indexing import block_bounds
+
+
+def mp_jacobi_node(
+    ip: int,
+    jp: int,
+    p: int,
+    f_block: np.ndarray,
+    iters: int,
+    out: dict,
+):
+    """Node program for processor P(ip, jp) -- a direct Listing 2 port.
+
+    ``f_block`` is this processor's block of f (without halo); the solved
+    block lands in ``out[(ip, jp)]``.
+    """
+    mi, mj = f_block.shape
+    # local solution block with a one-cell halo all around
+    X = np.zeros((mi + 2, mj + 2))
+    tmpX = np.zeros((mi + 2, mj + 2))
+
+    def rank(i, j):
+        return i * p + j
+
+    for it in range(iters):
+        # copy interior of solution into the temporary array
+        tmpX[1:-1, 1:-1] = X[1:-1, 1:-1]
+        yield Compute(flops=float(mi * mj), label="copy")
+
+        # send edge values to North, South, West and East neighbors
+        if ip > 0:
+            yield Send(rank(ip - 1, jp), X[1, 1:-1].copy(), tag=("N", it, ip, jp))
+        if ip < p - 1:
+            yield Send(rank(ip + 1, jp), X[mi, 1:-1].copy(), tag=("S", it, ip, jp))
+        if jp > 0:
+            yield Send(rank(ip, jp - 1), X[1:-1, 1].copy(), tag=("W", it, ip, jp))
+        if jp < p - 1:
+            yield Send(rank(ip, jp + 1), X[1:-1, mj].copy(), tag=("E", it, ip, jp))
+
+        # receive edge values from neighbors into the halo
+        if ip < p - 1:
+            tmpX[mi + 1, 1:-1] = yield Recv(
+                src=rank(ip + 1, jp), tag=("N", it, ip + 1, jp)
+            )
+        if ip > 0:
+            tmpX[0, 1:-1] = yield Recv(src=rank(ip - 1, jp), tag=("S", it, ip - 1, jp))
+        if jp < p - 1:
+            tmpX[1:-1, mj + 1] = yield Recv(
+                src=rank(ip, jp + 1), tag=("W", it, ip, jp + 1)
+            )
+        if jp > 0:
+            tmpX[1:-1, 0] = yield Recv(src=rank(ip, jp - 1), tag=("E", it, ip, jp - 1))
+
+        # update the solution block
+        X[1:-1, 1:-1] = (
+            0.25
+            * (tmpX[2:, 1:-1] + tmpX[:-2, 1:-1] + tmpX[1:-1, 2:] + tmpX[1:-1, :-2])
+            - f_block
+        )
+        yield Compute(flops=6.0 * mi * mj, label="update")
+
+    out[(ip, jp)] = X[1:-1, 1:-1].copy()
+
+
+def jacobi_message_passing(
+    machine: Machine, p: int, f: np.ndarray, iters: int
+):
+    """Run Listing 2's Jacobi on a p x p processor array.
+
+    Returns (X_global, trace); X matches the sequential Listing 1 result
+    exactly (the halo holds zeros at physical boundaries, as the paper's
+    (m+2)x(m+2) declaration arranges).
+    """
+    n1 = f.shape[0]
+    if f.shape[0] != f.shape[1]:
+        raise ValidationError("square grids only")
+    if machine.n_procs < p * p:
+        raise ValidationError("machine too small")
+    # distribute interior rows/cols (boundary ring is fixed at zero)
+    interior = n1 - 2
+    if interior < p:
+        raise ValidationError("grid too coarse for this processor array")
+    row_bounds = [block_bounds(interior, p, i) for i in range(p)]
+    out: dict = {}
+
+    programs = {}
+    for ip in range(p):
+        for jp in range(p):
+            rlo, rhi = row_bounds[ip]
+            clo, chi = row_bounds[jp]
+            blk = f[1 + rlo : 1 + rhi, 1 + clo : 1 + chi].copy()
+            programs[ip * p + jp] = mp_jacobi_node(ip, jp, p, blk, iters, out)
+    trace = machine.run(programs)
+
+    X = np.zeros_like(f)
+    for ip in range(p):
+        for jp in range(p):
+            rlo, rhi = row_bounds[ip]
+            clo, chi = row_bounds[jp]
+            X[1 + rlo : 1 + rhi, 1 + clo : 1 + chi] = out[(ip, jp)]
+    return X, trace

@@ -1,0 +1,22 @@
+"""Listing 1: the sequential Jacobi program.
+
+Kept deliberately minimal -- this is the "before" of the paper's
+program-length comparison, so its line count matters; see
+:mod:`repro.baselines.loc`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def jacobi_sequential(f: np.ndarray, iters: int) -> np.ndarray:
+    """Sequential Jacobi for Poisson on an (n+1)x(n+1) grid (Listing 1)."""
+    X = np.zeros_like(f)
+    for _ in range(iters):
+        tmp = X.copy()
+        X[1:-1, 1:-1] = (
+            0.25 * (tmp[2:, 1:-1] + tmp[:-2, 1:-1] + tmp[1:-1, 2:] + tmp[1:-1, :-2])
+            - f[1:-1, 1:-1]
+        )
+    return X

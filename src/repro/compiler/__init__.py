@@ -1,0 +1,31 @@
+"""The KF1 mini-compiler.
+
+Given a :class:`~repro.lang.doall.Doall`, this package performs the
+transformations the paper attributes to the Kali compiler:
+
+* **strip-mining** (:mod:`repro.compiler.stripmine`): partition the
+  iteration space among processors according to the ``on`` clause;
+* **access analysis** (:mod:`repro.compiler.access`): per-processor
+  needed-element sets for every array reference;
+* **communication generation** (:mod:`repro.compiler.commgen`): matching
+  send/receive sets from the overlap of owned and needed data;
+* **scheduling** (:mod:`repro.compiler.schedule`): the per-processor node
+  program implementing copy-in/copy-out semantics;
+* **performance estimation** (:mod:`repro.compiler.estimate`): the static
+  per-loop communication/compute predictor the paper proposes as the
+  companion tool;
+* **dynamic inspection** (:mod:`repro.compiler.inspector`): the runtime
+  gather fallback for irregular references (paper's reference [17]).
+"""
+
+from repro.compiler.schedule import execute_doall, clear_plan_cache
+from repro.compiler.estimate import estimate_doall, LoopEstimate
+from repro.compiler.inspector import inspector_gather
+
+__all__ = [
+    "execute_doall",
+    "clear_plan_cache",
+    "estimate_doall",
+    "LoopEstimate",
+    "inspector_gather",
+]

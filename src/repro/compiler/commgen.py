@@ -1,0 +1,138 @@
+"""Communication-set generation and the whole-loop static analysis.
+
+:class:`LoopAnalysis` is the compile step of the paper's KF1 compiler:
+from the loop alone (no execution) it derives, for every rank,
+
+* the iteration set (strip-mining),
+* the needed-element box product per read array,
+* matching (src, dst) transfer sets: ``owned(src) ∩ needed(dst)``,
+* the write plan: local stores plus any remote-write scatter sets.
+
+Everything is deterministic and derivable by every rank independently,
+which is why the generated sends and receives match without any runtime
+negotiation -- the property the paper relies on for affine loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler import access as acc
+from repro.compiler.stripmine import IterSet, stripmine
+from repro.lang.array import BaseDistArray
+from repro.lang.doall import Doall
+
+
+class ReadPlan:
+    """Gather plan for one array on one rank."""
+
+    __slots__ = ("array", "needed", "recv_from", "send_to", "own_overlap")
+
+    def __init__(self, array: BaseDistArray):
+        self.array = array
+        self.needed: list[np.ndarray] | None = None
+        # rank -> per-dim global index lists
+        self.recv_from: dict[int, list[np.ndarray]] = {}
+        self.send_to: dict[int, list[np.ndarray]] = {}
+        self.own_overlap: list[np.ndarray] | None = None
+
+
+class WritePlan:
+    """Write plan for one statement on one rank."""
+
+    __slots__ = ("all_local", "recv_count", "send_ranks")
+
+    def __init__(self):
+        self.all_local = True
+        self.recv_count = 0
+        self.send_ranks: list[int] = []
+
+
+class LoopAnalysis:
+    """Static analysis of one doall loop over its whole grid."""
+
+    def __init__(self, loop: Doall):
+        self.loop = loop
+        self.ranks = loop.grid.linear
+        self.iters: dict[int, IterSet] = stripmine(loop)
+        self.stmts = [acc.StmtAccess(st) for st in loop.body]
+        self.writes_local = acc.writes_are_local(loop)
+
+        # ---- read analysis ------------------------------------------------
+        read_map = acc.arrays_read(loop)
+        self.read_arrays: list[BaseDistArray] = [a for a, _ in read_map.values()]
+        self.read_refs: list[list] = [refs for _, refs in read_map.values()]
+        # needed[arr_idx][rank] -> per-dim lists or None
+        self.needed: list[dict[int, list[np.ndarray] | None]] = []
+        self.read_plans: list[dict[int, ReadPlan]] = []
+        for array, refs in zip(self.read_arrays, self.read_refs):
+            needed = {
+                r: acc.needed_lists(array, refs, self.iters[r]) for r in self.ranks
+            }
+            self.needed.append(needed)
+            owned = {r: acc.owned_lists(array, r) for r in self.ranks}
+            plans: dict[int, ReadPlan] = {}
+            for me in self.ranks:
+                plans[me] = ReadPlan(array)
+                plans[me].needed = needed[me]
+            if array.replicated:
+                # Full copy everywhere: needs are satisfied locally.
+                for me in self.ranks:
+                    plans[me].own_overlap = needed[me]
+                self.read_plans.append(plans)
+                continue
+            for me in self.ranks:
+                plans[me].own_overlap = acc.intersect_lists(needed[me], owned[me])
+                for q in self.ranks:
+                    if q == me:
+                        continue
+                    inter = acc.intersect_lists(needed[me], owned[q])
+                    if inter is not None:
+                        plans[me].recv_from[q] = inter
+                        plans[q].send_to[me] = inter
+            self.read_plans.append(plans)
+
+        # ---- write analysis -----------------------------------------------
+        # write_plans[stmt_idx][rank]
+        self.write_plans: list[dict[int, WritePlan]] = []
+        if self.writes_local:
+            for _ in self.stmts:
+                self.write_plans.append({r: WritePlan() for r in self.ranks})
+        else:
+            for sa in self.stmts:
+                plans = {r: WritePlan() for r in self.ranks}
+                # senders per destination, derived from every rank's writes
+                for r in self.ranks:
+                    iters = self.iters[r]
+                    if iters.empty:
+                        continue
+                    idx_arrays = sa.lhs_index_arrays(iters)
+                    owners = sa.lhs_array.owner_ranks_vec(tuple(idx_arrays))
+                    owners_flat = np.unique(owners)
+                    for dst in owners_flat:
+                        dst = int(dst)
+                        if dst == r:
+                            continue
+                        plans[r].all_local = False
+                        plans[r].send_ranks.append(dst)
+                        if dst in plans:
+                            plans[dst].recv_count += 1
+                self.write_plans.append(plans)
+
+    # ------------------------------------------------------------------
+
+    def flops_per_point(self) -> float:
+        """Flop estimate per iteration point over the whole body."""
+        return float(sum(sa.stmt.rhs.flops() + 1 for sa in self.stmts))
+
+    def rank_flops(self, rank: int) -> float:
+        return self.iters[rank].count() * self.flops_per_point()
+
+
+def local_positions(array: BaseDistArray, rank: int, lists: list[np.ndarray]):
+    """Translate per-dim global index lists into local-block index lists."""
+    coords = array.grid.coords_of(rank)
+    out = []
+    for k, g in enumerate(lists):
+        out.append(np.asarray(array.dim(k).local_index(g), dtype=np.int64))
+    return out

@@ -1,0 +1,133 @@
+"""Static per-loop performance estimation.
+
+The paper (section 2) promises "performance estimation tools, which will
+indicate which parts of a program will compile into efficient executable
+code, and which will not."  This module is that tool: from a loop's
+static analysis and a machine cost model it predicts per-rank compute
+time, message counts and volumes, the loop's critical-path time, and a
+parallel-efficiency figure -- without executing anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.commgen import LoopAnalysis
+from repro.compiler.schedule import get_analysis
+from repro.lang.doall import Doall
+from repro.machine.costmodel import CostModel
+
+
+@dataclass
+class RankEstimate:
+    rank: int
+    iterations: int
+    flops: float
+    msgs_out: int
+    msgs_in: int
+    bytes_out: int
+    bytes_in: int
+
+    def compute_time(self, cost: CostModel) -> float:
+        return cost.compute_time(self.flops)
+
+    def comm_time(self, cost: CostModel) -> float:
+        """Serialized communication time seen by this rank (upper bound)."""
+        return (
+            self.msgs_out * cost.send_overhead
+            + self.msgs_in * cost.alpha
+            + cost.beta * self.bytes_in
+        )
+
+
+@dataclass
+class LoopEstimate:
+    """Whole-loop prediction: the performance tool's report."""
+
+    per_rank: list[RankEstimate] = field(default_factory=list)
+
+    def total_flops(self) -> float:
+        return sum(r.flops for r in self.per_rank)
+
+    def total_messages(self) -> int:
+        return sum(r.msgs_out for r in self.per_rank)
+
+    def total_bytes(self) -> int:
+        return sum(r.bytes_out for r in self.per_rank)
+
+    def predicted_time(self, cost: CostModel) -> float:
+        """Critical-path estimate: slowest rank's compute + comm."""
+        if not self.per_rank:
+            return 0.0
+        return max(r.compute_time(cost) + r.comm_time(cost) for r in self.per_rank)
+
+    def predicted_efficiency(self, cost: CostModel) -> float:
+        """Ideal-time / (p * predicted time); 1.0 is perfect scaling."""
+        p = len(self.per_rank)
+        t = self.predicted_time(cost)
+        if p == 0 or t <= 0:
+            return 1.0
+        ideal = cost.compute_time(self.total_flops()) / p
+        return min(1.0, ideal / t)
+
+    def load_imbalance(self) -> float:
+        """max/mean iteration count over ranks (1.0 is perfectly balanced)."""
+        counts = [r.iterations for r in self.per_rank]
+        if not counts or sum(counts) == 0:
+            return 1.0
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 1.0
+
+    def report(self, cost: CostModel) -> str:
+        """Human-readable report, one line per rank plus a summary."""
+        lines = ["rank  iters      flops    out(msgs/bytes)   in(msgs/bytes)"]
+        for r in self.per_rank:
+            lines.append(
+                f"{r.rank:>4}  {r.iterations:>6} {r.flops:>10.0f}"
+                f"   {r.msgs_out:>3}/{r.bytes_out:<8}   {r.msgs_in:>3}/{r.bytes_in:<8}"
+            )
+        lines.append(
+            f"predicted time {self.predicted_time(cost):.6g}s, "
+            f"efficiency {self.predicted_efficiency(cost):.3f}, "
+            f"imbalance {self.load_imbalance():.3f}"
+        )
+        return "\n".join(lines)
+
+
+def _lists_nbytes(lists, itemsize: int) -> int:
+    n = 1
+    for x in lists:
+        n *= int(x.size)
+    return n * itemsize
+
+
+def estimate_doall(loop: Doall) -> LoopEstimate:
+    """Predict the communication and computation of one doall loop."""
+    analysis: LoopAnalysis = get_analysis(loop)
+    out = LoopEstimate()
+    for rank in analysis.ranks:
+        iters = analysis.iters[rank]
+        est = RankEstimate(
+            rank=rank,
+            iterations=iters.count(),
+            flops=analysis.rank_flops(rank),
+            msgs_out=0,
+            msgs_in=0,
+            bytes_out=0,
+            bytes_in=0,
+        )
+        for plans in analysis.read_plans:
+            plan = plans[rank]
+            itemsize = plan.array.dtype.itemsize
+            for lists in plan.send_to.values():
+                est.msgs_out += 1
+                est.bytes_out += _lists_nbytes(lists, itemsize)
+            for lists in plan.recv_from.values():
+                est.msgs_in += 1
+                est.bytes_in += _lists_nbytes(lists, itemsize)
+        for stmt_idx, sa in enumerate(analysis.stmts):
+            wplan = analysis.write_plans[stmt_idx][rank]
+            est.msgs_out += len(wplan.send_ranks)
+            est.msgs_in += wplan.recv_count
+        out.per_rank.append(est)
+    return out

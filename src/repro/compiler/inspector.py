@@ -1,0 +1,118 @@
+"""Runtime inspector/executor for irregular references.
+
+When subscripts are data-dependent (indirect indexing), the static
+analysis of :mod:`repro.compiler.commgen` cannot derive matching
+communication sets; the paper defers to runtime gathering (its reference
+[17], Crowley/Saltz et al.).  ``inspector_gather`` implements that
+two-round protocol:
+
+1. *inspection*: every rank tells every owner which of its elements it
+   needs (possibly an empty request);
+2. *execution*: owners reply with the requested values.
+
+Every rank of the grid must call this collectively.  Returns the
+requested values in request order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lang.array import BaseDistArray
+from repro.lang.procs import ProcessorGrid
+from repro.machine.ops import Recv, Send
+from repro.util.errors import ValidationError
+
+
+def inspector_gather(
+    ctx,
+    grid: ProcessorGrid,
+    array: BaseDistArray,
+    indices: np.ndarray | None,
+    tag=None,
+):
+    """Gather arbitrary global elements of ``array`` at runtime.
+
+    Parameters
+    ----------
+    ctx:
+        The rank's :class:`~repro.lang.context.KaliCtx`.
+    grid:
+        Grid performing the collective gather (must include all owners).
+    array:
+        Source distributed array.
+    indices:
+        Integer array of shape (n, array.ndim) of global indices this
+        rank wants; None or empty for no requests.
+
+    Yields machine ops; evaluates to a float array of length n.
+    """
+    if not array.grid.is_subset_of(grid):
+        raise ValidationError("array owners must participate in inspector_gather")
+    me = ctx.rank
+    if tag is None:
+        tag = ctx.next_tag(grid)
+    members = grid.linear
+
+    if indices is None:
+        indices = np.empty((0, array.ndim), dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.ndim != 2 or indices.shape[1] != array.ndim:
+        raise ValidationError(
+            f"indices must have shape (n, {array.ndim}), got {indices.shape}"
+        )
+
+    # --- round 1: send requests to owners -------------------------------
+    if indices.shape[0]:
+        owners = array.owner_ranks_vec(tuple(indices.T))
+    else:
+        owners = np.empty(0, dtype=np.int64)
+    requests: dict[int, np.ndarray] = {}
+    order: dict[int, np.ndarray] = {}
+    for q in members:
+        sel = np.nonzero(owners == q)[0]
+        requests[q] = indices[sel]
+        order[q] = sel
+    for q in members:
+        if q == me:
+            continue
+        yield Send(q, requests[q], tag=(tag, "req", me))
+
+    # --- round 1b: receive all requests ---------------------------------
+    incoming: dict[int, np.ndarray] = {}
+    for q in members:
+        if q == me:
+            incoming[q] = requests[me]
+            continue
+        incoming[q] = yield Recv(src=q, tag=(tag, "req", q))
+
+    # --- round 2: reply with values -------------------------------------
+    i_own = array.grid.contains(me)
+    for q in members:
+        req = incoming[q]
+        if q == me:
+            continue
+        if req.shape[0] and not i_own:
+            raise ValidationError(f"rank {me} asked for data it does not own")
+        values = _read_local(array, me, req) if req.shape[0] else np.empty(0)
+        yield Send(q, values, tag=(tag, "rep", me))
+
+    out = np.empty(indices.shape[0], dtype=array.dtype)
+    for q in members:
+        if q == me:
+            if requests[me].shape[0]:
+                out[order[me]] = _read_local(array, me, requests[me])
+            continue
+        values = yield Recv(src=q, tag=(tag, "rep", q))
+        if order[q].size:
+            out[order[q]] = values
+    return out
+
+
+def _read_local(array: BaseDistArray, rank: int, idx: np.ndarray) -> np.ndarray:
+    block = array.local(rank)
+    locs = tuple(
+        np.asarray(array.dim(k).local_index(idx[:, k]), dtype=np.int64)
+        for k in range(array.ndim)
+    )
+    return np.asarray(block[locs])

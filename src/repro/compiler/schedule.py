@@ -1,0 +1,193 @@
+"""Per-processor execution of compiled doall loops.
+
+``execute_doall(ctx, loop)`` is a generator of machine ops implementing
+one rank's share of the loop:
+
+1. send every ``owned ∩ needed(q)`` region (payload snapshotted -> the
+   receiver observes pre-loop values: copy-in);
+2. receive ghost regions into a workspace indexed by the needed lists;
+3. evaluate all statement right-hand sides vectorized over the local
+   iteration box (one Compute op charges the flop count);
+4. apply local writes; exchange and apply remote writes (scatter).
+
+Analyses are cached by structural loop key, so loops re-executed every
+iteration (the common case) compile once.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.compiler import access as acc
+from repro.compiler.commgen import LoopAnalysis, local_positions
+from repro.lang.doall import Doall
+from repro.lang.expr import BinOp, Const, Ref
+from repro.machine.ops import ANY, Compute, Recv, Send
+from repro.util.errors import CompileError
+
+_PLAN_CACHE: dict[Any, LoopAnalysis] = {}
+
+
+def clear_plan_cache() -> None:
+    """Drop all cached loop analyses (mostly for tests)."""
+    _PLAN_CACHE.clear()
+
+
+def get_analysis(loop: Doall) -> LoopAnalysis:
+    key = loop.key()
+    analysis = _PLAN_CACHE.get(key)
+    if analysis is None:
+        analysis = LoopAnalysis(loop)
+        _PLAN_CACHE[key] = analysis
+    return analysis
+
+
+class _Workspace:
+    """Gathered read data for one array on one rank."""
+
+    __slots__ = ("needed", "data")
+
+    def __init__(self, needed: list[np.ndarray], dtype):
+        self.needed = needed
+        self.data = np.empty([n.size for n in needed], dtype=dtype)
+
+    def put(self, lists: list[np.ndarray], values: np.ndarray) -> None:
+        pos = [acc.positions_in(n, g) for n, g in zip(self.needed, lists)]
+        self.data[np.ix_(*pos)] = values
+
+    def fetch(self, idx_arrays: list[np.ndarray]) -> np.ndarray:
+        pos = tuple(
+            acc.positions_in(n, np.asarray(g)) for n, g in zip(self.needed, idx_arrays)
+        )
+        return self.data[pos]
+
+
+def _eval_expr(expr, workspaces: dict[int, _Workspace], iters) -> np.ndarray | float:
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Ref):
+        ws = workspaces[id(expr.array)]
+        idx = [acc.eval_index(e, iters) for e in expr.idx]
+        return ws.fetch(idx)
+    if isinstance(expr, BinOp):
+        left = _eval_expr(expr.left, workspaces, iters)
+        right = _eval_expr(expr.right, workspaces, iters)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        return left / right
+    raise CompileError(f"cannot evaluate expression {expr!r}")
+
+
+def execute_doall(ctx, loop: Doall):
+    """Yield the machine ops realizing this rank's share of ``loop``."""
+    me = ctx.rank
+    if not loop.grid.contains(me):
+        raise CompileError(f"rank {me} executing doall outside its grid")
+    analysis = get_analysis(loop)
+    tag = ctx.next_tag(loop.grid)
+    iters = analysis.iters[me]
+
+    # ---- phase 1: ghost sends (pre-write snapshots) ----------------------
+    for arr_idx, plans in enumerate(analysis.read_plans):
+        plan = plans[me]
+        array = plan.array
+        if not array.grid.contains(me):
+            continue
+        block = array.local(me)
+        for dst, lists in sorted(plan.send_to.items()):
+            locs = local_positions(array, me, lists)
+            values = block[np.ix_(*locs)]
+            yield Send(dst, values, tag=(tag, "gh", arr_idx, me))
+
+    # ---- phase 2: assemble workspaces ------------------------------------
+    workspaces: dict[int, _Workspace] = {}
+    for arr_idx, plans in enumerate(analysis.read_plans):
+        plan = plans[me]
+        array = plan.array
+        if plan.needed is None:
+            continue  # no iterations here; nothing to read
+        ws = _Workspace(plan.needed, array.dtype)
+        if plan.own_overlap is not None:
+            locs = local_positions(array, me, plan.own_overlap)
+            ws.put(plan.own_overlap, array.local(me)[np.ix_(*locs)])
+        for src, lists in sorted(plan.recv_from.items()):
+            values = yield Recv(src=src, tag=(tag, "gh", arr_idx, src))
+            ws.put(lists, values)
+        workspaces[id(array)] = ws
+
+    # ---- phase 3: evaluate and write -------------------------------------
+    n_points = iters.count()
+    if n_points:
+        yield Compute(
+            flops=n_points * analysis.flops_per_point(),
+            label=f"doall[{','.join(v.name for v in loop.vars)}]",
+        )
+
+    remote_payloads: list[tuple[int, tuple, Any]] = []
+    for stmt_idx, sa in enumerate(analysis.stmts):
+        wplan = analysis.write_plans[stmt_idx][me]
+        if n_points:
+            values = _eval_expr(sa.stmt.rhs, workspaces, iters)
+            values = np.broadcast_to(np.asarray(values, dtype=sa.lhs_array.dtype),
+                                     iters.shape())
+            idx_arrays = sa.lhs_index_arrays(iters)
+            full_idx = [
+                np.broadcast_to(np.asarray(a), iters.shape()).reshape(-1)
+                for a in idx_arrays
+            ]
+            flat_vals = values.reshape(-1)
+            if analysis.writes_local and wplan.all_local:
+                owners_mask = None
+            else:
+                owners = sa.lhs_array.owner_ranks_vec(tuple(idx_arrays))
+                owners = np.broadcast_to(owners, iters.shape()).reshape(-1)
+                owners_mask = owners
+            if owners_mask is None:
+                mine = slice(None)
+                _store_local(sa.lhs_array, me, full_idx, flat_vals, mine)
+            else:
+                mine = owners_mask == me
+                if np.any(mine):
+                    _store_local(sa.lhs_array, me, full_idx, flat_vals, mine)
+                for dst in sorted(set(int(d) for d in np.unique(owners_mask)) - {me}):
+                    sel = owners_mask == dst
+                    payload = (
+                        [g[sel] for g in full_idx],
+                        flat_vals[sel],
+                    )
+                    remote_payloads.append(
+                        (dst, (tag, "wr", stmt_idx), payload)
+                    )
+
+    # ---- phase 4: remote-write exchange -----------------------------------
+    for dst, wtag, payload in remote_payloads:
+        yield Send(dst, payload, tag=wtag)
+    for stmt_idx, sa in enumerate(analysis.stmts):
+        wplan = analysis.write_plans[stmt_idx][me]
+        for _ in range(wplan.recv_count):
+            lists, values = yield Recv(src=ANY, tag=(tag, "wr", stmt_idx))
+            _store_remote(sa.lhs_array, me, lists, values)
+
+
+def _store_local(array, rank, full_idx, flat_vals, sel) -> None:
+    block = array.local(rank)
+    locs = tuple(
+        np.asarray(array.dim(k).local_index(full_idx[k][sel]), dtype=np.int64)
+        for k in range(array.ndim)
+    )
+    block[locs] = flat_vals[sel]
+
+
+def _store_remote(array, rank, lists, values) -> None:
+    block = array.local(rank)
+    locs = tuple(
+        np.asarray(array.dim(k).local_index(lists[k]), dtype=np.int64)
+        for k in range(array.ndim)
+    )
+    block[locs] = values

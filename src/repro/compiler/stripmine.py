@@ -1,0 +1,157 @@
+"""Strip-mining: partition doall iterations among processors.
+
+For each rank of the loop grid we compute, per loop variable, the numpy
+array of iteration values that rank executes.  The ``on`` clause supplies
+the constraints: ``Owner(X, (e0, e1, ...))`` assigns iteration points to
+the processor owning the referenced element; ``OnProc(grid, (e,))``
+assigns them to explicit grid coordinates.  Constraints are separable by
+construction (each affine expression involves at most one loop variable,
+as in all the paper's examples), so iteration sets are products of
+per-variable index arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lang.doall import Doall, OnProc, Owner
+from repro.util.errors import CompileError
+
+
+class IterSet:
+    """Iteration set of one rank: per-variable index arrays (a box product)."""
+
+    __slots__ = ("vars", "arrays", "empty")
+
+    def __init__(self, vars: tuple, arrays: dict[str, np.ndarray]):
+        self.vars = vars
+        self.arrays = arrays
+        self.empty = any(a.size == 0 for a in arrays.values())
+
+    def count(self) -> int:
+        if self.empty:
+            return 0
+        n = 1
+        for a in self.arrays.values():
+            n *= int(a.size)
+        return n
+
+    def env(self) -> dict[str, np.ndarray]:
+        """Loop-variable environment with broadcast-ready shapes.
+
+        Variable k of d gets shape (1, ..., len_k, ..., 1) so affine
+        evaluation broadcasts to the full iteration box lazily.
+        """
+        d = len(self.vars)
+        out = {}
+        for k, v in enumerate(self.vars):
+            arr = self.arrays[v.name]
+            shape = [1] * d
+            shape[k] = arr.size
+            out[v.name] = arr.reshape(shape)
+        return out
+
+    def shape(self) -> tuple[int, ...]:
+        return tuple(int(self.arrays[v.name].size) for v in self.vars)
+
+
+def _full_ranges(loop: Doall) -> dict[str, np.ndarray]:
+    out = {}
+    for v, (lo, hi, step) in zip(loop.vars, loop.ranges):
+        out[v.name] = np.arange(lo, hi + 1, step, dtype=np.int64)
+    return out
+
+
+def _constraints(loop: Doall) -> tuple[list, list]:
+    """Extract (var_constraints, proc_constraints) from the on clause.
+
+    var_constraints: list of (var, fn(idx_array) -> grid_coord_array, grid_dim)
+    proc_constraints: list of (grid_dim, required_coord) from constant exprs.
+    """
+    var_cons = []
+    proc_cons = []
+    if isinstance(loop.on, Owner):
+        arr = loop.on.array
+        for k, e in enumerate(loop.on.idx):
+            if e is None:
+                continue
+            g = arr.grid_dim_of(k)
+            if g is None:
+                continue  # star dimension: no placement constraint
+            bd = arr.dim(k)
+            if e.is_constant():
+                coord = int(bd.owner(e.evaluate({})))
+                proc_cons.append((g, coord))
+                continue
+            v = e.single_var()
+            if v is None:
+                raise CompileError(
+                    f"on-clause index {e!r} must involve at most one loop variable"
+                )
+
+            def fn(idx, e=e, v=v, bd=bd):
+                return bd.owner(e.evaluate({v.name: idx}))
+
+            var_cons.append((v, fn, g))
+        # The owner's grid coordinates are relative to arr.grid; translate
+        # to loop.grid coordinates by requiring the grids to share layout.
+        if arr.grid.key() != loop.grid.key() or arr.grid.shape != loop.grid.shape:
+            raise CompileError(
+                "Owner() array must live on the loop grid itself; "
+                "use OnProc for subset placement"
+            )
+    elif isinstance(loop.on, OnProc):
+        if loop.on.grid.key() != loop.grid.key():
+            raise CompileError("OnProc grid must be the loop grid")
+        for g, e in enumerate(loop.on.coord_exprs):
+            if e is None:
+                continue
+            if e.is_constant():
+                proc_cons.append((g, int(e.evaluate({}))))
+                continue
+            v = e.single_var()
+            if v is None:
+                raise CompileError(
+                    f"OnProc coordinate {e!r} must involve at most one loop variable"
+                )
+
+            def fn(idx, e=e, v=v):
+                return e.evaluate({v.name: idx})
+
+            var_cons.append((v, fn, g))
+    else:  # pragma: no cover - defensive
+        raise CompileError(f"unknown on clause {loop.on!r}")
+    return var_cons, proc_cons
+
+
+def stripmine(loop: Doall) -> dict[int, IterSet]:
+    """Iteration sets for every rank of the loop grid."""
+    full = _full_ranges(loop)
+    var_cons, proc_cons = _constraints(loop)
+    grid = loop.grid
+
+    # Precompute per-variable coordinate arrays once, reuse for all ranks.
+    coord_arrays = []
+    for v, fn, g in var_cons:
+        coord_arrays.append((v, fn(full[v.name]), g))
+
+    out: dict[int, IterSet] = {}
+    for rank in grid.linear:
+        coords = grid.coords_of(rank)
+        if any(coords[g] != c for g, c in proc_cons):
+            out[rank] = IterSet(
+                loop.vars, {v.name: np.empty(0, dtype=np.int64) for v in loop.vars}
+            )
+            continue
+        masks: dict[str, np.ndarray] = {}
+        for v, carr, g in coord_arrays:
+            m = carr == coords[g]
+            masks[v.name] = masks[v.name] & m if v.name in masks else m
+        sets = {}
+        for v in loop.vars:
+            arr = full[v.name]
+            if v.name in masks:
+                arr = arr[masks[v.name]]
+            sets[v.name] = arr
+        out[rank] = IterSet(loop.vars, sets)
+    return out

@@ -1,0 +1,56 @@
+"""One-dimensional kernel algorithms (paper section 3).
+
+The paper's thesis is that multi-dimensional tensor product algorithms
+are built by combining one-dimensional "kernel" routines.  This package
+provides the kernels:
+
+* :mod:`repro.kernels.thomas` -- the sequential tridiagonal solve used
+  at the root of the reduction tree and inside zebra relaxation;
+* :mod:`repro.kernels.substructured` -- the paper's substructured
+  (spike-variant) parallel tridiagonal solver, Listing 4 / Figures 1-5;
+* :mod:`repro.kernels.pipelined` -- the pipelined multi-system solver,
+  Listing 6;
+* :mod:`repro.kernels.cyclic_reduction` -- cyclic reduction, the classic
+  alternative parallel tridiagonal algorithm, used as a baseline;
+* :mod:`repro.kernels.fft` and :mod:`repro.kernels.spline` -- the other
+  1-D kernels the paper names (FFT, cubic spline fitting).
+"""
+
+from repro.kernels.thomas import thomas_solve, thomas_factor_count
+from repro.kernels.substructured import (
+    local_reduce,
+    solve_reduced_pairs,
+    substructured_tri_solve,
+    tri_node_program,
+    ContiguousMapping,
+    ShuffleMapping,
+)
+from repro.kernels.pipelined import (
+    pipelined_multi_tri_solve,
+    sequential_multi_tri_solve,
+)
+from repro.kernels.cyclic_reduction import (
+    cyclic_reduction_solve,
+    distributed_cyclic_reduction,
+)
+from repro.kernels.fft import parallel_fft, fft_node_program
+from repro.kernels.spline import cubic_spline_coeffs, spline_eval
+
+__all__ = [
+    "thomas_solve",
+    "thomas_factor_count",
+    "local_reduce",
+    "solve_reduced_pairs",
+    "substructured_tri_solve",
+    "tri_node_program",
+    "ContiguousMapping",
+    "ShuffleMapping",
+    "pipelined_multi_tri_solve",
+    "sequential_multi_tri_solve",
+    "cyclic_reduction_solve",
+    "distributed_cyclic_reduction",
+    "parallel_fft",
+    "fft_node_program",
+    "cubic_spline_coeffs",
+    "spline_eval",
+]

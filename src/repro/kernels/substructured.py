@@ -1,0 +1,396 @@
+"""The paper's substructured parallel tridiagonal solver (section 3).
+
+A variant of Sameh's "spike" algorithm, structured exactly as Figures
+1-4 describe:
+
+* **Local reduction** (Figure 1): each processor eliminates the interior
+  of its block of rows.  Forward elimination removes the lower diagonal
+  while introducing fill-in in the block's first column (``e``); reverse
+  elimination removes the upper diagonal with fill-in in the block's
+  last column (``g``).  The block's first and last rows then couple only
+  to each other and to neighboring blocks, so the boundary rows of all p
+  blocks form a tridiagonal system of 2p equations.
+* **Tree reduction** (Figures 2-3): pairs of boundary-row pairs are
+  mailed together; four adjacent rows reduce to two by the same
+  elimination, halving the reduced system log2(p)-1 times until four
+  rows remain, solved by the sequential Thomas algorithm.
+* **Substitution** (Figure 4): solved boundary values descend the tree;
+  each saved four-row system yields its two interior values, and finally
+  each processor recovers its block interior.
+
+Two mappings of the data-flow graph onto processors are provided
+(Figure 5): :class:`ContiguousMapping` (pair j of level l on processor
+j * 2**l) and :class:`ShuffleMapping` (level l served by the processor
+group [p/2**l, p/2**(l-1)), so distinct levels occupy distinct
+processors -- the property that enables pipelining multiple systems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.thomas import thomas_solve
+from repro.machine.ops import Compute, Mark, Recv, Send
+from repro.machine.simulator import Machine
+from repro.util.errors import ValidationError
+from repro.util.indexing import block_bounds
+
+# Flop model for the cost accounting (per row of work).
+REDUCE_FLOPS_PER_ROW = 12
+SUBST_FLOPS_PER_ROW = 5
+THOMAS_FLOPS_PER_ROW = 8
+
+
+@dataclass
+class ReducedBlock:
+    """Output of one local block reduction.
+
+    ``first`` and ``last`` are the boundary rows as (lower, diag, upper,
+    rhs) 4-vectors, where ``first.lower`` couples the previous block's
+    last row and ``last.upper`` couples the next block's first row.
+    ``e``, ``g``, ``a``, ``f`` hold the interior elimination results for
+    the substitution phase: row i of the interior satisfies
+
+        e[i] * x_first + a[i] * x[i] + g[i] * x_last = f[i].
+    """
+
+    first: np.ndarray
+    last: np.ndarray
+    e: np.ndarray
+    g: np.ndarray
+    a: np.ndarray
+    f: np.ndarray
+
+    @property
+    def m(self) -> int:
+        return len(self.a)
+
+    def interior_solve(self, x_first: float, x_last: float) -> np.ndarray:
+        """All block values given the solved boundary values (Figure 4)."""
+        m = self.m
+        x = np.empty(m)
+        x[0] = x_first
+        x[-1] = x_last
+        if m > 2:
+            sl = slice(1, m - 1)
+            x[sl] = (self.f[sl] - self.e[sl] * x_first - self.g[sl] * x_last) / self.a[sl]
+        return x
+
+
+def local_reduce(
+    b: np.ndarray, a: np.ndarray, c: np.ndarray, f: np.ndarray
+) -> ReducedBlock:
+    """Reduce one block of rows to its two boundary equations (Figure 1).
+
+    Inputs are this block's slices of the global diagonals; ``b[0]`` and
+    ``c[-1]`` are the couplings to the neighboring blocks (kept intact).
+    """
+    b = np.asarray(b, dtype=float).copy()
+    a = np.asarray(a, dtype=float).copy()
+    c = np.asarray(c, dtype=float).copy()
+    f = np.asarray(f, dtype=float).copy()
+    m = len(a)
+    if m < 2:
+        raise ValidationError("local_reduce requires blocks of at least 2 rows")
+    e = np.zeros(m)
+    g = np.zeros(m)
+    e[1] = b[1]
+    # Forward sweep: eliminate the lower diagonal, fill column `first`.
+    for i in range(2, m):
+        if a[i - 1] == 0.0:
+            raise ValidationError(f"zero pivot during forward reduction (row {i - 1})")
+        mfac = b[i] / a[i - 1]
+        a[i] -= mfac * c[i - 1]
+        e[i] = -mfac * e[i - 1]
+        f[i] -= mfac * f[i - 1]
+    # Reverse sweep: eliminate the upper diagonal, fill column `last`.
+    if m >= 2:
+        g[m - 2] = c[m - 2]
+    for i in range(m - 3, -1, -1):
+        if a[i + 1] == 0.0:
+            raise ValidationError(f"zero pivot during reverse reduction (row {i + 1})")
+        mfac = c[i] / a[i + 1]
+        g[i] = -mfac * g[i + 1]
+        f[i] -= mfac * f[i + 1]
+        if i == 0:
+            a[0] -= mfac * e[1]
+        else:
+            e[i] -= mfac * e[i + 1]
+    first = np.array([b[0], a[0], g[0], f[0]])
+    last = np.array([e[m - 1], a[m - 1], c[m - 1], f[m - 1]])
+    return ReducedBlock(first=first, last=last, e=e, g=g, a=a, f=f)
+
+
+def reduce_flops(m: int) -> float:
+    return REDUCE_FLOPS_PER_ROW * max(m, 0)
+
+
+def pair_rows_to_tridiagonal(pairs: list[tuple[np.ndarray, np.ndarray]]):
+    """Assemble the reduced 2q-row tridiagonal system from q boundary pairs."""
+    q = len(pairs)
+    n = 2 * q
+    b = np.zeros(n)
+    a = np.zeros(n)
+    c = np.zeros(n)
+    f = np.zeros(n)
+    for k, (first, last) in enumerate(pairs):
+        b[2 * k], a[2 * k], c[2 * k], f[2 * k] = first
+        b[2 * k + 1], a[2 * k + 1], c[2 * k + 1], f[2 * k + 1] = last
+    return b, a, c, f
+
+
+def reduce_four_rows(
+    pair_a: tuple[np.ndarray, np.ndarray], pair_b: tuple[np.ndarray, np.ndarray]
+) -> tuple[np.ndarray, np.ndarray, ReducedBlock]:
+    """Reduce two adjacent boundary pairs (four rows) to one pair (Figure 2).
+
+    Returns (new_first, new_last, saved) where ``saved`` lets the
+    substitution phase recover the two interior rows.
+    """
+    b, a, c, f = pair_rows_to_tridiagonal([pair_a, pair_b])
+    red = local_reduce(b, a, c, f)
+    return red.first, red.last, red
+
+
+def solve_reduced_pairs(pairs: list[tuple[np.ndarray, np.ndarray]]) -> np.ndarray:
+    """Directly solve the reduced system of the given boundary pairs.
+
+    Sequential reference used at the tree apex and in tests; the outer
+    couplings (first pair's lower, last pair's upper) are ignored, as
+    they reference rows outside the full matrix.
+    """
+    b, a, c, f = pair_rows_to_tridiagonal(pairs)
+    return thomas_solve(b, a, c, f)
+
+
+# ----------------------------------------------------------------------
+# Mappings of the data-flow graph onto processors (Figure 5)
+# ----------------------------------------------------------------------
+
+
+class Mapping:
+    """Assignment of tree-level pairs to processor ranks."""
+
+    name = "abstract"
+
+    def __init__(self, p: int):
+        if p < 1 or (p & (p - 1)) != 0:
+            raise ValidationError(f"mappings require a power-of-two p, got {p}")
+        self.p = p
+        self.k = p.bit_length() - 1  # log2 p
+
+    def pair_rank(self, level: int, j: int) -> int:
+        """Rank holding pair ``j`` of tree level ``level`` (level 0 = blocks)."""
+        raise NotImplementedError
+
+    def npairs(self, level: int) -> int:
+        return self.p >> level
+
+
+class ContiguousMapping(Mapping):
+    """Naive mapping: pair j of level l stays on processor j * 2**l.
+
+    Processor 0 serves every level; higher-numbered processors idle
+    early -- the left-hand data-flow layout of Figure 5.
+    """
+
+    name = "contiguous"
+
+    def pair_rank(self, level: int, j: int) -> int:
+        if not 0 <= j < self.npairs(level) and not (level == self.k and j == 0):
+            raise ValidationError(f"pair {j} invalid at level {level}")
+        return j * (1 << level) if level <= self.k else 0
+
+
+class ShuffleMapping(Mapping):
+    """Shuffle/unshuffle mapping (Figure 5): levels on disjoint groups.
+
+    Level l >= 1 is served by ranks [p/2**l, p/2**(l-1)); pair j of that
+    level sits on rank p/2**l + j.  Because distinct levels use distinct
+    processors, a stream of systems pipelines through the tree keeping
+    most processors busy -- the advantage claimed in section 3.
+    """
+
+    name = "shuffle"
+
+    def pair_rank(self, level: int, j: int) -> int:
+        if level == 0:
+            return j
+        base = self.p >> level
+        if base == 0:
+            base = 1
+        return base + j
+
+
+# ----------------------------------------------------------------------
+# SPMD node program
+# ----------------------------------------------------------------------
+
+
+def _holdings(mapping: Mapping, rank: int, level: int) -> list[int]:
+    """Pairs this rank holds at ``level``."""
+    return [j for j in range(mapping.npairs(level)) if mapping.pair_rank(level, j) == rank]
+
+
+def tri_node_program(
+    rank: int,
+    p: int,
+    block: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    mapping: Mapping,
+    out: dict[int, np.ndarray],
+    sys_id=0,
+):
+    """Node program of one processor for one substructured solve.
+
+    ``block`` is this rank's (b, a, c, f) row slices; the solved block
+    values are stored into ``out[rank]`` on completion.  ``sys_id``
+    namespaces message tags so several solves can run concurrently.
+    """
+    b, a, c, f = block
+    m = len(a)
+    k = mapping.k
+
+    if p == 1:
+        yield Compute(flops=THOMAS_FLOPS_PER_ROW * m, label="thomas")
+        out[rank] = thomas_solve(b, a, c, f)
+        return
+
+    # ---- Phase A: local reduction (Figure 1) --------------------------
+    yield Mark("tri/reduce", payload=(sys_id, 0))
+    red = local_reduce(b, a, c, f)
+    yield Compute(flops=reduce_flops(m), label="local_reduce")
+    my_pair = (red.first, red.last)
+
+    # route my level-0 pair toward its level-1 parent
+    parent = mapping.pair_rank(1, rank // 2) if k >= 2 else mapping.pair_rank(k, 0)
+    saved: dict[tuple[int, int], ReducedBlock] = {}
+    pair_at: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {(0, rank): my_pair}
+    if parent != rank:
+        yield Send(parent, np.concatenate(my_pair), tag=("tri", sys_id, "up", 0, rank))
+
+    # ---- Phase B: tree reduction (Figures 2-3) -------------------------
+    for level in range(1, k):
+        for j in _holdings(mapping, rank, level):
+            yield Mark("tri/reduce", payload=(sys_id, level))
+            pa = yield from _obtain_pair(rank, mapping, level - 1, 2 * j, pair_at, sys_id)
+            pb = yield from _obtain_pair(rank, mapping, level - 1, 2 * j + 1, pair_at, sys_id)
+            first, last, sred = reduce_four_rows(pa, pb)
+            yield Compute(flops=reduce_flops(4), label="tree_reduce")
+            saved[(level, j)] = sred
+            pair_at[(level, j)] = (first, last)
+            if level + 1 < k:
+                dest = mapping.pair_rank(level + 1, j // 2)
+            else:
+                dest = mapping.pair_rank(k, 0)
+            if dest != rank:
+                yield Send(
+                    dest, np.concatenate((first, last)), tag=("tri", sys_id, "up", level, j)
+                )
+
+    # ---- Apex: solve the final four rows by Thomas ---------------------
+    apex = mapping.pair_rank(k, 0)
+    top_level = k - 1
+    if rank == apex:
+        yield Mark("tri/apex", payload=(sys_id, k))
+        pa = yield from _obtain_pair(rank, mapping, top_level, 0, pair_at, sys_id)
+        pb = yield from _obtain_pair(rank, mapping, top_level, 1, pair_at, sys_id)
+        x4 = solve_reduced_pairs([pa, pb])
+        yield Compute(flops=THOMAS_FLOPS_PER_ROW * 4, label="apex_thomas")
+        for idx, j in enumerate((0, 1)):
+            vals = x4[2 * idx : 2 * idx + 2]
+            holder = mapping.pair_rank(top_level, j)
+            if holder == rank:
+                pair_at[("x", top_level, j)] = vals
+            else:
+                yield Send(holder, vals, tag=("tri", sys_id, "dn", top_level, j))
+
+    # ---- Substitution: descend the tree (Figure 4) ----------------------
+    for level in range(k - 1, 0, -1):
+        for j in _holdings(mapping, rank, level):
+            yield Mark("tri/subst", payload=(sys_id, level))
+            key = ("x", level, j)
+            if key in pair_at:
+                x_first, x_last = pair_at[key]
+            else:
+                vals = yield Recv(
+                    src=apex if level == top_level else mapping.pair_rank(level + 1, j // 2),
+                    tag=("tri", sys_id, "dn", level, j),
+                )
+                x_first, x_last = vals
+            sred = saved[(level, j)]
+            x4 = sred.interior_solve(x_first, x_last)
+            yield Compute(flops=SUBST_FLOPS_PER_ROW * 2, label="tree_subst")
+            for cj, vals in ((2 * j, x4[0:2]), (2 * j + 1, x4[2:4])):
+                holder = mapping.pair_rank(level - 1, cj)
+                if holder == rank:
+                    pair_at[("x", level - 1, cj)] = vals
+                else:
+                    yield Send(holder, vals, tag=("tri", sys_id, "dn", level - 1, cj))
+
+    # ---- Phase C: recover my block interior -----------------------------
+    yield Mark("tri/subst", payload=(sys_id, 0))
+    key = ("x", 0, rank)
+    if key in pair_at:
+        xb = pair_at[key]
+    else:
+        src = mapping.pair_rank(1, rank // 2) if k >= 2 else apex
+        xb = yield Recv(src=src, tag=("tri", sys_id, "dn", 0, rank))
+    x_block = red.interior_solve(float(xb[0]), float(xb[1]))
+    yield Compute(flops=SUBST_FLOPS_PER_ROW * m, label="block_subst")
+    out[rank] = x_block
+
+
+def _obtain_pair(rank, mapping, level, j, pair_at, sys_id):
+    """Local lookup or receive of pair j at ``level`` (generator helper)."""
+    holder = mapping.pair_rank(level, j)
+    if holder == rank:
+        return pair_at[(level, j)]
+    data = yield Recv(src=holder, tag=("tri", sys_id, "up", level, j))
+    return (data[:4], data[4:])
+
+
+# ----------------------------------------------------------------------
+# High-level driver
+# ----------------------------------------------------------------------
+
+
+def substructured_tri_solve(
+    b: np.ndarray,
+    a: np.ndarray,
+    c: np.ndarray,
+    f: np.ndarray,
+    p: int,
+    machine: Machine | None = None,
+    mapping_cls=ShuffleMapping,
+):
+    """Solve a tridiagonal system on ``p`` simulated processors.
+
+    Returns ``(x, trace)``: the global solution vector and the machine
+    trace (timing, messages, Mark events for the data-flow figures).
+    """
+    n = len(a)
+    if p < 1:
+        raise ValidationError("p must be >= 1")
+    if n < 2 * p:
+        raise ValidationError(f"n={n} too small for p={p} (need n >= 2p)")
+    mapping = mapping_cls(p)
+    if machine is None:
+        machine = Machine(n_procs=p)
+    if machine.n_procs < p:
+        raise ValidationError("machine too small for requested p")
+    out: dict[int, np.ndarray] = {}
+    bounds = [block_bounds(n, p, r) for r in range(p)]
+
+    def make(rank):
+        lo, hi = bounds[rank]
+        blk = (b[lo:hi], a[lo:hi], c[lo:hi], f[lo:hi])
+        return tri_node_program(rank, p, blk, mapping, out)
+
+    trace = machine.run({r: make(r) for r in range(p)})
+    x = np.empty(n)
+    for r in range(p):
+        lo, hi = bounds[r]
+        x[lo:hi] = out[r]
+    return x, trace

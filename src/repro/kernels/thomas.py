@@ -1,0 +1,109 @@
+"""Sequential Thomas algorithm for tridiagonal systems.
+
+The system is given by three diagonals ``b`` (lower), ``a`` (main),
+``c`` (upper) and right-hand side ``f``; row i reads
+
+    b[i] * x[i-1] + a[i] * x[i] + c[i] * x[i+1] = f[i]
+
+with ``b[0]`` and ``c[n-1]`` ignored.  The paper assumes the matrix can
+be factored without pivoting (e.g. diagonally dominant); we validate
+against zero pivots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+
+def thomas_solve(
+    b: np.ndarray, a: np.ndarray, c: np.ndarray, f: np.ndarray
+) -> np.ndarray:
+    """Solve one tridiagonal system by LU without pivoting.
+
+    All inputs are 1-D arrays of equal length n; returns x of length n.
+    """
+    b = np.asarray(b, dtype=float)
+    a = np.asarray(a, dtype=float)
+    c = np.asarray(c, dtype=float)
+    f = np.asarray(f, dtype=float)
+    n = a.shape[0]
+    if not (b.shape[0] == c.shape[0] == f.shape[0] == n):
+        raise ValidationError("diagonals and rhs must have equal length")
+    if n == 0:
+        return np.empty(0)
+    cp = np.empty(n)
+    fp = np.empty(n)
+    denom = a[0]
+    if denom == 0.0:
+        raise ValidationError("zero pivot in Thomas algorithm at row 0")
+    cp[0] = c[0] / denom
+    fp[0] = f[0] / denom
+    for i in range(1, n):
+        denom = a[i] - b[i] * cp[i - 1]
+        if denom == 0.0:
+            raise ValidationError(f"zero pivot in Thomas algorithm at row {i}")
+        cp[i] = c[i] / denom
+        fp[i] = (f[i] - b[i] * fp[i - 1]) / denom
+    x = np.empty(n)
+    x[-1] = fp[-1]
+    for i in range(n - 2, -1, -1):
+        x[i] = fp[i] - cp[i] * x[i + 1]
+    return x
+
+
+def thomas_solve_many(
+    b: np.ndarray, a: np.ndarray, c: np.ndarray, F: np.ndarray
+) -> np.ndarray:
+    """Solve the same tridiagonal matrix against many right-hand sides.
+
+    ``F`` has shape (n, m); returns X of the same shape.  Used by zebra
+    line relaxation where each line shares constant coefficients.
+    """
+    b = np.asarray(b, dtype=float)
+    a = np.asarray(a, dtype=float)
+    c = np.asarray(c, dtype=float)
+    F = np.asarray(F, dtype=float)
+    n = a.shape[0]
+    if F.shape[0] != n:
+        raise ValidationError("rhs rows must match system size")
+    if n == 0:
+        return np.empty_like(F)
+    cp = np.empty(n)
+    Fp = np.empty_like(F)
+    denom = a[0]
+    if denom == 0.0:
+        raise ValidationError("zero pivot at row 0")
+    cp[0] = c[0] / denom
+    Fp[0] = F[0] / denom
+    for i in range(1, n):
+        denom = a[i] - b[i] * cp[i - 1]
+        if denom == 0.0:
+            raise ValidationError(f"zero pivot at row {i}")
+        cp[i] = c[i] / denom
+        Fp[i] = (F[i] - b[i] * Fp[i - 1]) / denom
+    X = np.empty_like(F)
+    X[-1] = Fp[-1]
+    for i in range(n - 2, -1, -1):
+        X[i] = Fp[i] - cp[i] * X[i + 1]
+    return X
+
+
+def thomas_factor_count(n: int) -> int:
+    """Flop count of one Thomas solve of size n (8n-7 for n >= 1)."""
+    if n <= 0:
+        return 0
+    return max(8 * n - 7, 1)
+
+
+def build_tridiagonal_dense(
+    b: np.ndarray, a: np.ndarray, c: np.ndarray
+) -> np.ndarray:
+    """Dense matrix from the three diagonals (testing helper)."""
+    n = len(a)
+    A = np.zeros((n, n))
+    A[np.arange(n), np.arange(n)] = a
+    A[np.arange(1, n), np.arange(n - 1)] = b[1:]
+    A[np.arange(n - 1), np.arange(1, n)] = c[:-1]
+    return A

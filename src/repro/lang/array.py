@@ -1,0 +1,304 @@
+"""Distributed arrays and their sections.
+
+A :class:`DistArray` is the KF1 ``real X(0:n, 0:n) dist (block, block)``
+declaration.  Storage is one local numpy block per processor of the
+owning grid.  Subscripting with loop variables builds a
+:class:`~repro.lang.expr.Ref` AST node; subscripting with slices/ints
+builds a :class:`Section` (the paper's ``u(*, *, k)`` array slice passed
+to a parallel subroutine) whose local data are numpy *views* into the
+parent's blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.lang.dist import BoundDim, Distribution
+from repro.lang.expr import AffineExpr, LoopVar, Ref
+from repro.lang.procs import ProcessorGrid
+from repro.util.errors import ValidationError
+
+
+def _is_index_expr(x) -> bool:
+    return isinstance(x, (LoopVar, AffineExpr))
+
+
+class BaseDistArray:
+    """Interface shared by :class:`DistArray` and :class:`Section`.
+
+    The compiler only uses this protocol: shape/dtype, the owning grid,
+    per-dimension bound distributions, and per-rank local views.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: Any
+    grid: ProcessorGrid
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def dim(self, k: int) -> BoundDim:
+        """Bound distribution of array dimension ``k``."""
+        raise NotImplementedError
+
+    def grid_dim_of(self, k: int) -> int | None:
+        """Grid dimension fed by array dim ``k`` (None for star dims)."""
+        raise NotImplementedError
+
+    def local(self, rank: int) -> np.ndarray:
+        """This rank's local block (a numpy array or view)."""
+        raise NotImplementedError
+
+    @property
+    def replicated(self) -> bool:
+        return all(self.grid_dim_of(k) is None for k in range(self.ndim))
+
+    # -- indexing ------------------------------------------------------
+
+    def __getitem__(self, key):
+        if not isinstance(key, tuple):
+            key = (key,)
+        if len(key) != self.ndim:
+            raise ValidationError(
+                f"{self.ndim}-d array indexed with {len(key)} subscripts"
+            )
+        if any(_is_index_expr(k) for k in key):
+            if not all(_is_index_expr(k) or isinstance(k, (int, np.integer)) for k in key):
+                raise ValidationError(
+                    "cannot mix loop-variable subscripts with slices"
+                )
+            return Ref(self, key)
+        return Section(self, key)
+
+    # -- whole-array helpers (testing / setup) --------------------------
+
+    def owner_rank(self, index: tuple) -> int:
+        """Machine rank owning a global element (first owner if replicated)."""
+        coords = [0] * self.grid.ndim
+        for k in range(self.ndim):
+            g = self.grid_dim_of(k)
+            if g is not None:
+                coords[g] = int(self.dim(k).owner(index[k]))
+        return self.grid.rank_at(tuple(coords))
+
+    def owner_ranks_vec(self, idx_arrays: tuple) -> np.ndarray:
+        """Vectorized owner ranks for broadcastable index arrays."""
+        coords = [np.zeros(1, dtype=np.int64)] * self.grid.ndim
+        for k in range(self.ndim):
+            g = self.grid_dim_of(k)
+            if g is not None:
+                coords[g] = self.dim(k).owner(idx_arrays[k])
+        shape = np.broadcast_shapes(*(np.shape(c) for c in coords))
+        out = self.grid.ranks[tuple(np.broadcast_to(c, shape) for c in coords)]
+        return out
+
+    def local_index(self, index: tuple) -> tuple:
+        return tuple(int(self.dim(k).local_index(index[k])) for k in range(self.ndim))
+
+    def get_global(self, index: tuple):
+        """Read one element by global index (test helper)."""
+        rank = self.owner_rank(index)
+        return self.local(rank)[self.local_index(index)]
+
+    def set_global(self, index: tuple, value) -> None:
+        """Write one element by global index on every owner (test helper)."""
+        for rank in self.owner_ranks_of(index):
+            self.local(rank)[self.local_index(index)] = value
+
+    def owner_ranks_of(self, index: tuple) -> list[int]:
+        """All ranks storing a global element (several when replicated dims)."""
+        free = [g for g in range(self.grid.ndim)]
+        coords: list[list[int]] = [[]] * self.grid.ndim
+        fixed = {}
+        for k in range(self.ndim):
+            g = self.grid_dim_of(k)
+            if g is not None:
+                fixed[g] = int(self.dim(k).owner(index[k]))
+        ranks = []
+        grid_shape = self.grid.shape
+        def rec(g, acc):
+            if g == self.grid.ndim:
+                ranks.append(self.grid.rank_at(tuple(acc)))
+                return
+            if g in fixed:
+                rec(g + 1, acc + [fixed[g]])
+            else:
+                for c in range(grid_shape[g]):
+                    rec(g + 1, acc + [c])
+        rec(0, [])
+        return ranks
+
+    def to_global(self) -> np.ndarray:
+        """Assemble the full global array (test/benchmark helper)."""
+        out = np.zeros(self.shape, dtype=self.dtype)
+        for rank in self.grid.linear:
+            coords = self.grid.coords_of(rank)
+            sel = []
+            for k in range(self.ndim):
+                g = self.grid_dim_of(k)
+                c = coords[g] if g is not None else 0
+                sel.append(self.dim(k).owned_indices(c))
+            out[np.ix_(*sel)] = self.local(rank)
+        return out
+
+    def from_global(self, arr: np.ndarray) -> None:
+        """Scatter a full global array into the local blocks."""
+        arr = np.asarray(arr, dtype=self.dtype)
+        if arr.shape != self.shape:
+            raise ValidationError(f"shape {arr.shape} != array shape {self.shape}")
+        for rank in self.grid.linear:
+            coords = self.grid.coords_of(rank)
+            sel = []
+            for k in range(self.ndim):
+                g = self.grid_dim_of(k)
+                c = coords[g] if g is not None else 0
+                sel.append(self.dim(k).owned_indices(c))
+            self.local(rank)[...] = arr[np.ix_(*sel)]
+
+
+class DistArray(BaseDistArray):
+    """A distributed array: ``DistArray((n, n), grid, dist=("block", "block"))``.
+
+    Parameters
+    ----------
+    shape:
+        Global shape.
+    grid:
+        Owning processor grid (or a slice of the real grid).
+    dist:
+        Per-dimension specs: ``"block"``, ``"cyclic"``, ``"*"`` or DimDist
+        instances.  Defaults to all-``"*"`` (replicated), matching the
+        paper's rule for arrays without a distribution clause.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, ...] | int,
+        grid: ProcessorGrid,
+        dist=None,
+        dtype=np.float64,
+        name: str = "A",
+    ):
+        if isinstance(shape, int):
+            shape = (shape,)
+        self.shape = tuple(int(s) for s in shape)
+        if any(s < 0 for s in self.shape):
+            raise ValidationError(f"negative extent in shape {self.shape}")
+        self.grid = grid
+        self.dtype = np.dtype(dtype)
+        self.name = name
+        if dist is None:
+            dist = ("*",) * len(self.shape)
+        self.dist = Distribution(dist, self.shape, grid.shape)
+        self._blocks: dict[int, np.ndarray] = {}
+        for rank in grid.linear:
+            coords = grid.coords_of(rank)
+            self._blocks[rank] = np.zeros(
+                self.dist.local_shape(coords), dtype=self.dtype
+            )
+
+    def dim(self, k: int) -> BoundDim:
+        return self.dist.dim(k)
+
+    def grid_dim_of(self, k: int) -> int | None:
+        return self.dist.grid_dim_of[k]
+
+    def local(self, rank: int) -> np.ndarray:
+        try:
+            return self._blocks[rank]
+        except KeyError:
+            raise ValidationError(
+                f"rank {rank} does not own a block of array {self.name!r}"
+            ) from None
+
+    def fill(self, value: float) -> None:
+        for b in self._blocks.values():
+            b.fill(value)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"DistArray({self.name!r}, shape={self.shape}, "
+            f"dist={self.dist!r}, grid={self.grid.shape})"
+        )
+
+
+class Section(BaseDistArray):
+    """A slice of a DistArray: fixed dims drop out, slice dims remain.
+
+    Only full slices (``:``) are supported for kept dimensions -- exactly
+    the paper's ``u(*, *, k)`` usage.  Fixing a distributed dimension
+    restricts the owning grid to the matching hyperplane, which is how a
+    plane solve inherits a lower-dimensional processor array.
+    """
+
+    def __init__(self, base: BaseDistArray, key: tuple):
+        if len(key) != base.ndim:
+            raise ValidationError("section key must cover every dimension")
+        self.base = base
+        self.name = f"{base.name}[section]"
+        kept: list[int] = []
+        fixed: dict[int, int] = {}
+        for k, item in enumerate(key):
+            if isinstance(item, slice):
+                if item != slice(None):
+                    raise ValidationError(
+                        "only full slices ':' are supported in sections"
+                    )
+                kept.append(k)
+            elif isinstance(item, (int, np.integer)):
+                idx = int(item)
+                if not 0 <= idx < base.shape[k]:
+                    raise ValidationError(
+                        f"index {idx} out of bounds for dim {k} of {base.shape}"
+                    )
+                fixed[k] = idx
+            else:
+                raise ValidationError(f"bad section subscript {item!r}")
+        self.kept = kept
+        self.fixed = fixed
+        self.shape = tuple(base.shape[k] for k in kept)
+        self.dtype = base.dtype
+
+        # Grid restriction: fixing a distributed dim pins that grid dim.
+        grid_key: list = [slice(None)] * base.grid.ndim
+        for k, idx in fixed.items():
+            g = base.grid_dim_of(k)
+            if g is not None:
+                grid_key[g] = int(base.dim(k).owner(idx))
+        self.grid = base.grid[tuple(grid_key)]
+
+        # Map kept array dims to the restricted grid's dims, in order.
+        remaining_grid_dims = [
+            g for g in range(base.grid.ndim)
+            if not isinstance(grid_key[g], int)
+        ]
+        self._grid_dim_map: list[int | None] = []
+        for k in kept:
+            g = base.grid_dim_of(k)
+            if g is None:
+                self._grid_dim_map.append(None)
+            else:
+                self._grid_dim_map.append(remaining_grid_dims.index(g))
+
+    def dim(self, k: int) -> BoundDim:
+        return self.base.dim(self.kept[k])
+
+    def grid_dim_of(self, k: int) -> int | None:
+        return self._grid_dim_map[k]
+
+    def local(self, rank: int) -> np.ndarray:
+        block = self.base.local(rank)
+        sel: list = []
+        for k in range(self.base.ndim):
+            if k in self.fixed:
+                sel.append(int(self.base.dim(k).local_index(self.fixed[k])))
+            else:
+                sel.append(slice(None))
+        return block[tuple(sel)]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Section({self.base!r}, fixed={self.fixed})"

@@ -1,0 +1,89 @@
+"""SPMD execution context and runner.
+
+A parallel subroutine (the paper's ``parsub``) is a Python generator
+function ``def routine(ctx, ...)`` executed by every rank of a processor
+grid; ``yield from`` composes nested parsubs and compiled doall
+segments.  :class:`KaliCtx` carries the rank plus per-grid tag counters
+so that implicitly generated messages match across ranks, mirroring the
+compiler-assigned channel identities of real KF1.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable
+
+from repro.lang.procs import ProcessorGrid
+from repro.machine import collectives
+from repro.machine.simulator import Machine
+from repro.machine.trace import Trace
+from repro.util.errors import ValidationError
+
+
+class KaliCtx:
+    """Per-rank execution context for SPMD parallel subroutines."""
+
+    def __init__(self, rank: int, grid: ProcessorGrid):
+        if not grid.contains(rank):
+            raise ValidationError(f"rank {rank} not in grid {grid.shape}")
+        self.rank = rank
+        self.grid = grid
+        self._counters: dict[tuple, int] = {}
+
+    # -- tag discipline --------------------------------------------------
+
+    def next_tag(self, grid: ProcessorGrid) -> tuple:
+        """Deterministic tag shared by all ranks of ``grid``.
+
+        Every rank of ``grid`` executes the same sequence of collective
+        operations on it (SPMD discipline), so a per-grid counter yields
+        identical tags on all members without communication.
+        """
+        k = grid.key()
+        c = self._counters.get(k, 0)
+        self._counters[k] = c + 1
+        return ("kali", k, c)
+
+    # -- compiled loops ---------------------------------------------------
+
+    def doall(self, loop):
+        """Execute a doall loop; yields machine ops (use ``yield from``)."""
+        from repro.compiler.schedule import execute_doall
+
+        return execute_doall(self, loop)
+
+    # -- collectives over grids -------------------------------------------
+
+    def allreduce(self, grid: ProcessorGrid, value: Any, op: Callable = operator.add):
+        tag = self.next_tag(grid)
+        return collectives.allreduce(self.rank, grid.linear, value, tag=tag, op=op)
+
+    def bcast(self, grid: ProcessorGrid, value: Any, *, root: int):
+        tag = self.next_tag(grid)
+        return collectives.bcast(self.rank, grid.linear, value, root=root, tag=tag)
+
+    def gather(self, grid: ProcessorGrid, value: Any, *, root: int):
+        tag = self.next_tag(grid)
+        return collectives.gather(self.rank, grid.linear, value, root=root, tag=tag)
+
+
+def run_spmd(
+    machine: Machine,
+    grid: ProcessorGrid,
+    routine: Callable,
+    *args: Any,
+    **kwargs: Any,
+) -> Trace:
+    """Run ``routine(ctx, *args, **kwargs)`` on every rank of ``grid``.
+
+    This is the launch of the paper's main program: the "real" processor
+    array is ``grid`` and the top-level parsub is ``routine``.
+    """
+    if grid.size > machine.n_procs:
+        raise ValidationError(
+            f"grid of {grid.size} procs exceeds machine size {machine.n_procs}"
+        )
+    programs = {
+        rank: routine(KaliCtx(rank, grid), *args, **kwargs) for rank in grid.linear
+    }
+    return machine.run(programs)

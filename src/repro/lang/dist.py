@@ -1,0 +1,342 @@
+"""Data distribution primitives: block, cyclic, block-cyclic, star.
+
+A per-dimension distribution maps one array extent onto one processor
+grid dimension.  ``Star`` (the paper's ``*``) leaves a dimension
+undistributed: every processor of the grid stores the full extent.
+The number of non-star dimensions must equal the grid's ndim -- the
+rule stated in section 2 of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import DistributionError
+from repro.util.indexing import block_bounds, ceil_div
+
+
+class DimDist:
+    """Distribution of a single array dimension over ``p`` processors."""
+
+    #: True when this dimension occupies a processor-grid dimension.
+    distributed: bool = True
+
+    def bind(self, extent: int, nprocs: int) -> "BoundDim":
+        raise NotImplementedError
+
+    def spec_key(self):
+        """Hashable structural identity used in plan caching."""
+        raise NotImplementedError
+
+
+class BoundDim:
+    """A DimDist bound to a concrete extent and processor count."""
+
+    extent: int
+    nprocs: int
+    distributed: bool = True
+
+    def owner(self, index):
+        """Owning processor coordinate(s) for global index (vectorized)."""
+        raise NotImplementedError
+
+    def local_index(self, index):
+        """Local storage index for global index (vectorized)."""
+        raise NotImplementedError
+
+    def local_size(self, coord: int) -> int:
+        """Number of elements stored by processor coordinate ``coord``."""
+        raise NotImplementedError
+
+    def owned_indices(self, coord: int) -> np.ndarray:
+        """Sorted global indices owned by ``coord``."""
+        raise NotImplementedError
+
+    def owned_range(self, coord: int) -> tuple[int, int]:
+        """Half-open contiguous owned range; raises for non-contiguous."""
+        raise DistributionError(
+            f"{type(self).__name__} does not own contiguous ranges"
+        )
+
+
+# ----------------------------------------------------------------------
+# Block
+# ----------------------------------------------------------------------
+
+
+class Block(DimDist):
+    """Contiguous balanced blocks: the paper's ``block`` pattern."""
+
+    def bind(self, extent: int, nprocs: int) -> "BoundBlock":
+        return BoundBlock(extent, nprocs)
+
+    def spec_key(self):
+        return ("block",)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "Block()"
+
+
+class BoundBlock(BoundDim):
+    def __init__(self, extent: int, nprocs: int):
+        if extent < 0:
+            raise DistributionError(f"negative extent {extent}")
+        if nprocs <= 0:
+            raise DistributionError(f"nonpositive nprocs {nprocs}")
+        self.extent = extent
+        self.nprocs = nprocs
+        self._bounds = [block_bounds(extent, nprocs, c) for c in range(nprocs)]
+        # Precomputed owner lookup table (extent is modest in simulation).
+        self._owner = np.empty(max(extent, 1), dtype=np.int64)
+        for c, (lo, hi) in enumerate(self._bounds):
+            self._owner[lo:hi] = c
+        self._lo = np.array([b[0] for b in self._bounds], dtype=np.int64)
+
+    def owner(self, index):
+        return self._owner[index]
+
+    def local_index(self, index):
+        index = np.asarray(index)
+        return index - self._lo[self._owner[index]]
+
+    def local_size(self, coord: int) -> int:
+        lo, hi = self._bounds[coord]
+        return hi - lo
+
+    def owned_indices(self, coord: int) -> np.ndarray:
+        lo, hi = self._bounds[coord]
+        return np.arange(lo, hi, dtype=np.int64)
+
+    def owned_range(self, coord: int) -> tuple[int, int]:
+        return self._bounds[coord]
+
+
+# ----------------------------------------------------------------------
+# Cyclic
+# ----------------------------------------------------------------------
+
+
+class Cyclic(DimDist):
+    """Round-robin distribution: the paper's ``cyclic`` pattern."""
+
+    def bind(self, extent: int, nprocs: int) -> "BoundCyclic":
+        return BoundCyclic(extent, nprocs)
+
+    def spec_key(self):
+        return ("cyclic",)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "Cyclic()"
+
+
+class BoundCyclic(BoundDim):
+    def __init__(self, extent: int, nprocs: int):
+        if extent < 0:
+            raise DistributionError(f"negative extent {extent}")
+        if nprocs <= 0:
+            raise DistributionError(f"nonpositive nprocs {nprocs}")
+        self.extent = extent
+        self.nprocs = nprocs
+
+    def owner(self, index):
+        return np.asarray(index) % self.nprocs
+
+    def local_index(self, index):
+        return np.asarray(index) // self.nprocs
+
+    def local_size(self, coord: int) -> int:
+        if coord >= self.extent:
+            return 0
+        return ceil_div(self.extent - coord, self.nprocs)
+
+    def owned_indices(self, coord: int) -> np.ndarray:
+        return np.arange(coord, self.extent, self.nprocs, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# Block-cyclic
+# ----------------------------------------------------------------------
+
+
+class BlockCyclic(DimDist):
+    """Blocks of fixed size dealt round-robin (generalizes both patterns)."""
+
+    def __init__(self, block: int):
+        if block <= 0:
+            raise DistributionError(f"block size must be positive, got {block}")
+        self.block = block
+
+    def bind(self, extent: int, nprocs: int) -> "BoundBlockCyclic":
+        return BoundBlockCyclic(extent, nprocs, self.block)
+
+    def spec_key(self):
+        return ("blockcyclic", self.block)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BlockCyclic({self.block})"
+
+
+class BoundBlockCyclic(BoundDim):
+    def __init__(self, extent: int, nprocs: int, block: int):
+        self.extent = extent
+        self.nprocs = nprocs
+        self.block = block
+
+    def owner(self, index):
+        return (np.asarray(index) // self.block) % self.nprocs
+
+    def local_index(self, index):
+        index = np.asarray(index)
+        blk = index // self.block
+        return (blk // self.nprocs) * self.block + index % self.block
+
+    def local_size(self, coord: int) -> int:
+        full, rem = divmod(self.extent, self.block)
+        # count of blocks owned by coord among blocks 0..full-1, plus remainder
+        nblocks = full // self.nprocs + (1 if full % self.nprocs > coord else 0)
+        size = nblocks * self.block
+        if rem and full % self.nprocs == coord:
+            size += rem
+        return size
+
+    def owned_indices(self, coord: int) -> np.ndarray:
+        idx = np.arange(self.extent, dtype=np.int64)
+        return idx[self.owner(idx) == coord]
+
+
+# ----------------------------------------------------------------------
+# Star (undistributed)
+# ----------------------------------------------------------------------
+
+
+class Star(DimDist):
+    """Undistributed dimension (the paper's ``*``): replicated extent."""
+
+    distributed = False
+
+    def bind(self, extent: int, nprocs: int) -> "BoundStar":
+        return BoundStar(extent)
+
+    def spec_key(self):
+        return ("*",)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "Star()"
+
+
+class BoundStar(BoundDim):
+    distributed = False
+
+    def __init__(self, extent: int):
+        self.extent = extent
+        self.nprocs = 1
+
+    def owner(self, index):
+        return np.zeros_like(np.asarray(index))
+
+    def local_index(self, index):
+        return np.asarray(index)
+
+    def local_size(self, coord: int = 0) -> int:
+        return self.extent
+
+    def owned_indices(self, coord: int = 0) -> np.ndarray:
+        return np.arange(self.extent, dtype=np.int64)
+
+    def owned_range(self, coord: int = 0) -> tuple[int, int]:
+        return (0, self.extent)
+
+
+# ----------------------------------------------------------------------
+# Whole-array distribution
+# ----------------------------------------------------------------------
+
+_NAMES = {
+    "block": Block,
+    "cyclic": Cyclic,
+    "*": Star,
+    "star": Star,
+}
+
+
+def _as_dimdist(spec) -> DimDist:
+    if isinstance(spec, DimDist):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _NAMES[spec.lower()]()
+        except KeyError:
+            raise DistributionError(f"unknown distribution name {spec!r}") from None
+    raise DistributionError(f"bad distribution spec {spec!r}")
+
+
+class Distribution:
+    """Per-dimension distribution of an array over a processor grid.
+
+    ``dims[k]`` describes array dimension ``k``.  The i-th *non-star*
+    dimension maps to grid dimension i; the paper requires their count to
+    equal the grid's ndim.  An all-star distribution replicates the array
+    on every grid processor.
+    """
+
+    def __init__(self, dims, shape: tuple[int, ...], grid_shape: tuple[int, ...]):
+        dims = tuple(_as_dimdist(d) for d in dims)
+        if len(dims) != len(shape):
+            raise DistributionError(
+                f"{len(dims)} distribution specs for array of ndim {len(shape)}"
+            )
+        n_distributed = sum(1 for d in dims if d.distributed)
+        if n_distributed > 0 and n_distributed != len(grid_shape):
+            raise DistributionError(
+                f"{n_distributed} distributed dims must match grid ndim "
+                f"{len(grid_shape)} (paper section 2 rule)"
+            )
+        self.specs = dims
+        self.shape = tuple(shape)
+        self.grid_shape = tuple(grid_shape)
+        self.replicated = n_distributed == 0
+        self.bound: list[BoundDim] = []
+        self.grid_dim_of: list[int | None] = []
+        g = 0
+        for d, n in zip(dims, shape):
+            if d.distributed:
+                self.bound.append(d.bind(n, grid_shape[g]))
+                self.grid_dim_of.append(g)
+                g += 1
+            else:
+                self.bound.append(d.bind(n, 1))
+                self.grid_dim_of.append(None)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.bound)
+
+    def dim(self, k: int) -> BoundDim:
+        return self.bound[k]
+
+    def owner_coords(self, index: tuple) -> tuple:
+        """Grid coordinates owning a global index tuple (distributed dims)."""
+        coords = [0] * len(self.grid_shape)
+        for k, bd in enumerate(self.bound):
+            g = self.grid_dim_of[k]
+            if g is not None:
+                coords[g] = int(bd.owner(index[k]))
+        return tuple(coords)
+
+    def local_shape(self, grid_coords: tuple) -> tuple[int, ...]:
+        out = []
+        for k, bd in enumerate(self.bound):
+            g = self.grid_dim_of[k]
+            out.append(bd.local_size(grid_coords[g] if g is not None else 0))
+        return tuple(out)
+
+    def local_index(self, index: tuple) -> tuple:
+        return tuple(int(bd.local_index(index[k])) for k, bd in enumerate(self.bound))
+
+    def spec_key(self):
+        return tuple(d.spec_key() for d in self.specs)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Distribution({', '.join(repr(s) for s in self.specs)})"

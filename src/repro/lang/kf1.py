@@ -1,0 +1,350 @@
+"""A front end for a small KF1 (Kali Fortran 1) subset.
+
+The paper stresses that "most numerical programmers are more comfortable
+with a Fortran-like syntax" -- the constructs are presented as KF1
+listings, not as an API.  This module parses the subset of KF1 used by
+the listings into the library's IR so that programs can be written
+nearly verbatim:
+
+    processors procs(2, 2)
+    real X(0:16, 0:16) dist (block, block)
+    real f(0:16, 0:16) dist (block, block)
+
+    doall (i, j) = [1, 15] * [1, 15] on owner(X(i, j))
+      X(i, j) = 0.25*(X(i+1, j) + X(i-1, j) + X(i, j+1) + X(i, j-1)) - f(i, j)
+    end doall
+
+Supported statements:
+
+* ``processors name(e, ...)`` -- the processor array (one per program);
+* ``real name(lo:hi, ...) [dist (spec, ...)]`` -- array declarations
+  with ``block`` / ``cyclic`` / ``*`` distribution clauses (omitted
+  clause = replicated, as in the paper);
+* ``doall (v, ...) = [lo, hi[, step]] * ... on <on-clause>`` ...
+  ``end doall`` -- with ``owner(A(e, *, ...))`` or ``procs(e, ...)``
+  on-clauses and one or more assignment statements in the body.
+
+Ranges are inclusive, Fortran-style.  Expressions support + - * /,
+parentheses, numeric literals, and array references with affine
+subscripts (including ``k/2``).  ``parse_program`` returns a
+:class:`KF1Program` with the grid, the arrays, and the loops in order.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.lang.array import DistArray
+from repro.lang.doall import Doall, OnProc, Owner
+from repro.lang.expr import AffineExpr, Assign, Expr, LoopVar, Ref, as_expr
+from repro.lang.procs import ProcessorGrid
+from repro.util.errors import CompileError
+
+
+@dataclass
+class KF1Program:
+    """Result of parsing: grid, named arrays, loops in program order."""
+
+    grid: ProcessorGrid
+    arrays: dict[str, DistArray] = field(default_factory=dict)
+    loops: list[Doall] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Tokenizer for expressions
+# ----------------------------------------------------------------------
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<num>\d+\.\d*|\.\d+|\d+)|(?P<name>[A-Za-z_]\w*)"
+    r"|(?P<op>[()+\-*/,:])|(?P<star>\*))"
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    out = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if m is None or m.end() == pos:
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise CompileError(f"KF1: cannot tokenize {rest!r}")
+        out.append(m.group().strip())
+        pos = m.end()
+    return [t for t in out if t]
+
+
+class _ExprParser:
+    """Recursive-descent parser for KF1 body/subscript expressions."""
+
+    def __init__(self, tokens: list[str], arrays: dict[str, DistArray],
+                 vars: dict[str, LoopVar]):
+        self.toks = tokens
+        self.pos = 0
+        self.arrays = arrays
+        self.vars = vars
+
+    def peek(self) -> str | None:
+        return self.toks[self.pos] if self.pos < len(self.toks) else None
+
+    def take(self, expect: str | None = None) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise CompileError("KF1: unexpected end of expression")
+        if expect is not None and tok != expect:
+            raise CompileError(f"KF1: expected {expect!r}, found {tok!r}")
+        self.pos += 1
+        return tok
+
+    # expression := term (('+'|'-') term)*
+    def expr(self):
+        node = self.term()
+        while self.peek() in ("+", "-"):
+            op = self.take()
+            rhs = self.term()
+            node = _combine(op, node, rhs)
+        return node
+
+    # term := factor (('*'|'/') factor)*
+    def term(self):
+        node = self.factor()
+        while self.peek() in ("*", "/"):
+            op = self.take()
+            rhs = self.factor()
+            node = _combine(op, node, rhs)
+        return node
+
+    # factor := num | name | name '(' args ')' | '(' expr ')' | '-' factor
+    def factor(self):
+        tok = self.peek()
+        if tok == "(":
+            self.take()
+            node = self.expr()
+            self.take(")")
+            return node
+        if tok == "-":
+            self.take()
+            return _combine("-", 0, self.factor())
+        if tok == "+":
+            self.take()
+            return self.factor()
+        tok = self.take()
+        if re.fullmatch(r"\d+\.\d*|\.\d+|\d+", tok):
+            return float(tok) if ("." in tok) else int(tok)
+        if not re.fullmatch(r"[A-Za-z_]\w*", tok):
+            raise CompileError(f"KF1: unexpected token {tok!r}")
+        if self.peek() == "(":
+            # array reference
+            if tok not in self.arrays:
+                raise CompileError(f"KF1: undeclared array {tok!r}")
+            self.take("(")
+            idx = [self.subscript()]
+            while self.peek() == ",":
+                self.take(",")
+                idx.append(self.subscript())
+            self.take(")")
+            return Ref(self.arrays[tok], tuple(idx))
+        # scalar name: loop variable
+        if tok in self.vars:
+            return self.vars[tok]
+        raise CompileError(f"KF1: unknown name {tok!r}")
+
+    def subscript(self):
+        node = self.expr()
+        if isinstance(node, (Expr,)):
+            raise CompileError("KF1: array subscripts must be affine")
+        return AffineExpr.of(node) if not isinstance(node, AffineExpr) else node
+
+
+def _combine(op: str, left, right):
+    """Combine two parsed operands, staying affine when possible."""
+    if not isinstance(left, Expr) and not isinstance(right, Expr):
+        # try affine algebra first (subscripts); fall back to value expr
+        try:
+            if op == "+":
+                return _as_affine_or_num(left) + _as_affine_or_num(right)
+            if op == "-":
+                return _as_affine_or_num(left) - _as_affine_or_num(right)
+            if op == "*":
+                return _as_affine_or_num(left) * _as_affine_or_num(right)
+            if op == "/":
+                return _as_affine_or_num(left) / _as_affine_or_num(right)
+        except (CompileError, TypeError):
+            pass
+    lexpr = left if isinstance(left, Expr) else _to_value(left)
+    rexpr = right if isinstance(right, Expr) else _to_value(right)
+    if op == "+":
+        return lexpr + rexpr
+    if op == "-":
+        return lexpr - rexpr
+    if op == "*":
+        return lexpr * rexpr
+    return lexpr / rexpr
+
+
+def _as_affine_or_num(x):
+    if isinstance(x, (LoopVar, AffineExpr)):
+        return AffineExpr.of(x) if isinstance(x, LoopVar) else x
+    if isinstance(x, int):
+        return x
+    if isinstance(x, float):
+        if float(x).is_integer():
+            return int(x)
+        raise CompileError("not affine")
+    raise CompileError("not affine")
+
+
+def _to_value(x) -> Expr:
+    if isinstance(x, (LoopVar, AffineExpr)):
+        raise CompileError(
+            "KF1: loop variables may appear only inside array subscripts"
+        )
+    return as_expr(x)
+
+
+# ----------------------------------------------------------------------
+# Statement-level parser
+# ----------------------------------------------------------------------
+
+_PROCS = re.compile(r"^processors\s+(\w+)\s*\(([^)]*)\)\s*$")
+_REAL = re.compile(r"^real\s+(\w+)\s*\(([^)]*)\)\s*(?:dist\s*\(([^)]*)\))?\s*$")
+_DOALL = re.compile(r"^doall\s*\(([^)]*)\)\s*=\s*(.*?)\s+on\s+(.*)$")
+_RANGE = re.compile(r"\[\s*([^\],]+)\s*,\s*([^\],]+)\s*(?:,\s*([^\]]+))?\s*\]")
+_OWNER = re.compile(r"^owner\s*\(\s*(\w+)\s*\(([^)]*)\)\s*\)$")
+_ONPROC = re.compile(r"^(\w+)\s*\(([^)]*)\)$")
+
+
+def parse_program(text: str) -> KF1Program:
+    """Parse a KF1 program (see module docstring for the subset)."""
+    lines = []
+    for raw in text.splitlines():
+        line = raw.split("!")[0].rstrip()  # Fortran-style comments
+        line = re.sub(r"^\s*[cC]\s\s*.*$", "", line)
+        if line.strip():
+            lines.append(line.strip())
+
+    grid: ProcessorGrid | None = None
+    grid_name = None
+    arrays: dict[str, DistArray] = {}
+    loops: list[Doall] = []
+    idx = 0
+    while idx < len(lines):
+        line = lines[idx]
+        m = _PROCS.match(line)
+        if m:
+            if grid is not None:
+                raise CompileError(
+                    "KF1: only one real processors declaration is allowed"
+                )
+            grid_name = m.group(1)
+            shape = tuple(int(x) for x in m.group(2).split(","))
+            grid = ProcessorGrid(shape)
+            idx += 1
+            continue
+        m = _REAL.match(line)
+        if m:
+            if grid is None:
+                raise CompileError("KF1: declare processors before arrays")
+            name = m.group(1)
+            dims = []
+            for d in m.group(2).split(","):
+                d = d.strip()
+                if ":" in d:
+                    lo, hi = d.split(":")
+                    if int(lo) != 0:
+                        raise CompileError("KF1: array lower bounds must be 0")
+                    dims.append(int(hi) + 1)
+                else:
+                    dims.append(int(d))
+            dist = None
+            if m.group(3) is not None:
+                dist = tuple(s.strip() for s in m.group(3).split(","))
+            arrays[name] = DistArray(tuple(dims), grid, dist=dist, name=name)
+            idx += 1
+            continue
+        m = _DOALL.match(line)
+        if m:
+            if grid is None:
+                raise CompileError("KF1: declare processors before doall")
+            var_names = [v.strip() for v in m.group(1).split(",")]
+            vars_map = {v: LoopVar(v) for v in var_names}
+            ranges = []
+            for rm in _RANGE.finditer(m.group(2)):
+                lo, hi, step = rm.group(1), rm.group(2), rm.group(3)
+                ranges.append(
+                    (int(lo), int(hi)) if step is None else (int(lo), int(hi), int(step))
+                )
+            if len(ranges) != len(var_names):
+                raise CompileError("KF1: one range required per loop variable")
+            on = _parse_on(m.group(3).strip(), arrays, vars_map, grid, grid_name)
+            # body until 'end doall'
+            body = []
+            idx += 1
+            while idx < len(lines) and lines[idx].lower() != "end doall":
+                body.append(_parse_assign(lines[idx], arrays, vars_map))
+                idx += 1
+            if idx == len(lines):
+                raise CompileError("KF1: missing 'end doall'")
+            idx += 1  # skip end doall
+            loops.append(
+                Doall(
+                    vars=tuple(vars_map[v] for v in var_names),
+                    ranges=ranges,
+                    on=on,
+                    body=body,
+                    grid=grid,
+                )
+            )
+            continue
+        raise CompileError(f"KF1: cannot parse line {line!r}")
+    if grid is None:
+        raise CompileError("KF1: program has no processors declaration")
+    return KF1Program(grid=grid, arrays=arrays, loops=loops)
+
+
+def _parse_on(text: str, arrays, vars_map, grid, grid_name):
+    m = _OWNER.match(text)
+    if m:
+        name = m.group(1)
+        if name not in arrays:
+            raise CompileError(f"KF1: owner() of undeclared array {name!r}")
+        idx = []
+        for part in m.group(2).split(","):
+            part = part.strip()
+            if part == "*":
+                idx.append(None)
+            else:
+                p = _ExprParser(_tokenize(part), arrays, vars_map)
+                idx.append(p.subscript())
+        return Owner(arrays[name], tuple(idx))
+    m = _ONPROC.match(text)
+    if m and m.group(1) == grid_name:
+        exprs = []
+        for part in m.group(2).split(","):
+            part = part.strip()
+            if part == "*":
+                exprs.append(None)
+            else:
+                p = _ExprParser(_tokenize(part), arrays, vars_map)
+                exprs.append(p.subscript())
+        return OnProc(grid, tuple(exprs))
+    raise CompileError(f"KF1: cannot parse on-clause {text!r}")
+
+
+def _parse_assign(line: str, arrays, vars_map) -> Assign:
+    if "=" not in line:
+        raise CompileError(f"KF1: expected assignment, found {line!r}")
+    lhs_text, rhs_text = line.split("=", 1)
+    lp = _ExprParser(_tokenize(lhs_text), arrays, vars_map)
+    lhs = lp.factor()
+    if not isinstance(lhs, Ref):
+        raise CompileError(f"KF1: assignment target must be an array reference")
+    rp = _ExprParser(_tokenize(rhs_text), arrays, vars_map)
+    rhs = rp.expr()
+    if rp.peek() is not None:
+        raise CompileError(f"KF1: trailing tokens in {rhs_text!r}")
+    if not isinstance(rhs, Expr):
+        rhs = _to_value(rhs)
+    return Assign(lhs, rhs)

@@ -1,0 +1,46 @@
+"""Simulated loosely coupled multicomputer.
+
+This subpackage is the hardware substitute for the paper's distributed
+memory machine (see DESIGN.md section 2).  Node programs are Python
+generators yielding :mod:`repro.machine.ops` objects; the
+:class:`~repro.machine.simulator.Machine` advances per-processor logical
+clocks, routes messages under an alpha-beta-per-hop cost model over a
+configurable topology, detects deadlock, and records a full execution
+trace.
+"""
+
+from repro.machine.costmodel import CostModel
+from repro.machine.topology import (
+    Topology,
+    Ring,
+    Mesh2D,
+    Torus2D,
+    Hypercube,
+    Complete,
+    Line,
+)
+from repro.machine.ops import Compute, Send, Recv, Barrier, Mark, Now, ANY
+from repro.machine.simulator import Machine
+from repro.machine.trace import Trace
+from repro.machine import collectives
+
+__all__ = [
+    "CostModel",
+    "Topology",
+    "Ring",
+    "Line",
+    "Mesh2D",
+    "Torus2D",
+    "Hypercube",
+    "Complete",
+    "Compute",
+    "Send",
+    "Recv",
+    "Barrier",
+    "Mark",
+    "Now",
+    "ANY",
+    "Machine",
+    "Trace",
+    "collectives",
+]

@@ -1,0 +1,169 @@
+"""Collective operations composed from point-to-point messages.
+
+Each collective is a generator helper used inside node programs with
+``yield from``; the return value (if any) comes back through the
+``StopIteration`` value, so e.g.::
+
+    total = yield from collectives.allreduce(rank, group, x, op=operator.add, tag=t)
+
+All collectives use binomial trees over the *position* of a rank inside
+``group``, so they work on arbitrary processor subsets (processor-array
+slices, in the paper's terms).  Tags must be distinct per collective
+invocation and identical across the group -- the language layer's
+context allocates them.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Hashable, Sequence
+
+from repro.machine.ops import Recv, Send
+from repro.util.errors import ValidationError
+
+
+def _position(rank: int, group: Sequence[int]) -> int:
+    try:
+        return list(group).index(rank)
+    except ValueError:
+        raise ValidationError(f"rank {rank} not in group {list(group)!r}") from None
+
+
+def bcast(rank: int, group: Sequence[int], data: Any, *, root: int, tag: Hashable):
+    """Broadcast ``data`` from ``root`` to every rank in ``group``."""
+    group = list(group)
+    size = len(group)
+    rpos = _position(root, group)
+    me = (_position(rank, group) - rpos) % size  # root-relative position
+    value = data if rank == root else None
+    # binomial tree: at round k, positions < 2**k forward to position + 2**k
+    mask = 1
+    while mask < size:
+        mask <<= 1
+    recv_done = me == 0
+    k = 1
+    while k < size:
+        k <<= 1
+    # walk rounds from the top so low positions send early
+    rounds = []
+    step = 1
+    while step < size:
+        rounds.append(step)
+        step <<= 1
+    for step in rounds:
+        if me < step:
+            peer = me + step
+            if peer < size:
+                dst = group[(peer + rpos) % size]
+                yield Send(dst, value, tag=(tag, "bcast", peer))
+        elif me < 2 * step and not recv_done:
+            value = yield Recv(src=group[(me - step + rpos) % size], tag=(tag, "bcast", me))
+            recv_done = True
+    return value
+
+
+def reduce(
+    rank: int,
+    group: Sequence[int],
+    data: Any,
+    *,
+    root: int,
+    tag: Hashable,
+    op: Callable[[Any, Any], Any] = operator.add,
+):
+    """Reduce values from all ranks onto ``root``; others return None."""
+    group = list(group)
+    size = len(group)
+    rpos = _position(root, group)
+    me = (_position(rank, group) - rpos) % size
+    value = data
+    step = 1
+    while step < size:
+        if me % (2 * step) == 0:
+            peer = me + step
+            if peer < size:
+                other = yield Recv(
+                    src=group[(peer + rpos) % size], tag=(tag, "reduce", me, step)
+                )
+                value = op(value, other)
+        elif me % (2 * step) == step:
+            parent = me - step
+            yield Send(
+                group[(parent + rpos) % size], value, tag=(tag, "reduce", parent, step)
+            )
+            return None
+        step <<= 1
+    return value if rank == root else None
+
+
+def allreduce(
+    rank: int,
+    group: Sequence[int],
+    data: Any,
+    *,
+    tag: Hashable,
+    op: Callable[[Any, Any], Any] = operator.add,
+):
+    """Reduce then broadcast: every rank returns the combined value."""
+    group = list(group)
+    root = group[0]
+    value = yield from reduce(rank, group, data, root=root, tag=(tag, "ar_r"), op=op)
+    value = yield from bcast(rank, group, value, root=root, tag=(tag, "ar_b"))
+    return value
+
+
+def gather(rank: int, group: Sequence[int], data: Any, *, root: int, tag: Hashable):
+    """Gather one value per rank onto ``root`` as a list ordered by group.
+
+    Flat (non-tree) gather: each non-root sends directly to root.  The
+    list positions follow ``group`` order.  Non-roots return None.
+    """
+    group = list(group)
+    if rank == root:
+        out = [None] * len(group)
+        out[_position(root, group)] = data
+        for pos, src in enumerate(group):
+            if src == root:
+                continue
+            out[pos] = yield Recv(src=src, tag=(tag, "gather", pos))
+        return out
+    yield Send(root, data, tag=(tag, "gather", _position(rank, group)))
+    return None
+
+
+def scatter(
+    rank: int,
+    group: Sequence[int],
+    items: Sequence[Any] | None,
+    *,
+    root: int,
+    tag: Hashable,
+):
+    """Scatter ``items`` (given at root, one per group rank) to the group."""
+    group = list(group)
+    if rank == root:
+        if items is None or len(items) != len(group):
+            raise ValidationError("scatter needs len(items) == len(group) at root")
+        mine = items[_position(root, group)]
+        for pos, dst in enumerate(group):
+            if dst == root:
+                continue
+            yield Send(dst, items[pos], tag=(tag, "scatter", pos))
+        return mine
+    value = yield Recv(src=root, tag=(tag, "scatter", _position(rank, group)))
+    return value
+
+
+def allgather(rank: int, group: Sequence[int], data: Any, *, tag: Hashable):
+    """Gather to group[0] then broadcast the full list to everyone."""
+    group = list(group)
+    root = group[0]
+    items = yield from gather(rank, group, data, root=root, tag=(tag, "ag_g"))
+    items = yield from bcast(rank, group, items, root=root, tag=(tag, "ag_b"))
+    return items
+
+
+def barrier_via_messages(rank: int, group: Sequence[int], *, tag: Hashable):
+    """Message-based barrier (allreduce of nothing); for testing Barrier."""
+    yield from allreduce(rank, group, 0, tag=(tag, "bar"), op=lambda a, b: 0)
+    return None

@@ -1,0 +1,114 @@
+"""Communication and computation cost model.
+
+The model is the classic Hockney / postal model extended with a per-hop
+term for store-and-forward era networks:
+
+    message time = alpha + beta * nbytes + gamma_hop * hops
+    compute time = flop_time * flops
+
+The 1989 default is deliberately latency-dominated (``alpha`` large
+relative to ``beta * word``), matching the hypercube-generation machines
+the paper targets; presets for other regimes are provided so benchmarks
+can sweep the model where a claim depends on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Timing parameters of the simulated machine.
+
+    Attributes
+    ----------
+    alpha:
+        Message startup latency in seconds.
+    beta:
+        Transfer time per byte in seconds.
+    gamma_hop:
+        Extra per-hop time in seconds (store-and-forward routing).
+    flop_time:
+        Seconds per floating point operation.
+    send_overhead:
+        Time the *sender* is occupied per message (CPU injection cost).
+    word_bytes:
+        Bytes per floating point word, used by helpers that count words.
+    """
+
+    alpha: float = 100e-6
+    beta: float = 1e-6
+    gamma_hop: float = 10e-6
+    flop_time: float = 1e-6
+    send_overhead: float = 50e-6
+    word_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("alpha", "beta", "gamma_hop", "flop_time", "send_overhead"):
+            if getattr(self, name) < 0:
+                raise ValidationError(f"CostModel.{name} must be >= 0")
+        if self.word_bytes <= 0:
+            raise ValidationError("CostModel.word_bytes must be positive")
+
+    def message_time(self, nbytes: int, hops: int = 1) -> float:
+        """In-flight time of a message of ``nbytes`` over ``hops`` links."""
+        if nbytes < 0:
+            raise ValidationError(f"negative message size {nbytes}")
+        if hops < 0:
+            raise ValidationError(f"negative hop count {hops}")
+        return self.alpha + self.beta * nbytes + self.gamma_hop * hops
+
+    def message_time_words(self, nwords: int, hops: int = 1) -> float:
+        """Message time for ``nwords`` floating point words."""
+        return self.message_time(nwords * self.word_bytes, hops)
+
+    def compute_time(self, flops: float) -> float:
+        """Time to execute ``flops`` floating point operations."""
+        if flops < 0:
+            raise ValidationError(f"negative flop count {flops}")
+        return self.flop_time * flops
+
+    def scaled(self, **kwargs: float) -> "CostModel":
+        """Return a copy with some parameters replaced."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def hypercube_1989() -> "CostModel":
+        """Hypercube-era machine: milliseconds of latency, ~1 Mflop/s."""
+        return CostModel(
+            alpha=500e-6,
+            beta=2e-6,
+            gamma_hop=50e-6,
+            flop_time=1e-6,
+            send_overhead=200e-6,
+        )
+
+    @staticmethod
+    def balanced() -> "CostModel":
+        """Communication and computation roughly balanced (default)."""
+        return CostModel()
+
+    @staticmethod
+    def fast_network() -> "CostModel":
+        """Network much faster than compute: near-PRAM regime."""
+        return CostModel(
+            alpha=1e-6,
+            beta=1e-9,
+            gamma_hop=0.0,
+            flop_time=1e-6,
+            send_overhead=0.5e-6,
+        )
+
+    @staticmethod
+    def zero_comm() -> "CostModel":
+        """Free communication; isolates algorithmic load balance."""
+        return CostModel(
+            alpha=0.0, beta=0.0, gamma_hop=0.0, flop_time=1e-6, send_overhead=0.0
+        )

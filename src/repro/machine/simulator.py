@@ -1,0 +1,323 @@
+"""Deterministic event-driven simulator for the multicomputer.
+
+Each processor runs a node program (a generator of ops).  The simulator
+keeps a priority queue of resume/arrival events keyed on
+``(time, sequence)`` so runs are exactly reproducible.  When every live
+processor is blocked on a receive and no message is in flight, a
+:class:`~repro.util.errors.DeadlockError` is raised naming each blocked
+processor and what it was waiting for -- the failure mode the paper
+calls out as endemic to hand-written message passing code.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Hashable, Iterable
+
+import numpy as np
+
+from repro.machine.costmodel import CostModel
+from repro.machine.ops import ANY, Barrier, Compute, Mark, Now, Recv, Send
+from repro.machine.topology import Complete, Topology
+from repro.machine.trace import ComputeRecord, MarkRecord, MessageRecord, Trace
+from repro.util.errors import DeadlockError, MachineError
+
+NodeProgram = Generator[Any, Any, Any]
+
+
+def _snapshot(data: Any) -> Any:
+    """Copy mutable payloads at send time (message has by-value semantics)."""
+    if isinstance(data, np.ndarray):
+        return data.copy()
+    if isinstance(data, list):
+        return [_snapshot(x) for x in data]
+    if isinstance(data, tuple):
+        return tuple(_snapshot(x) for x in data)
+    if isinstance(data, dict):
+        return {k: _snapshot(v) for k, v in data.items()}
+    return data
+
+
+@dataclass
+class _Proc:
+    rank: int
+    gen: NodeProgram
+    clock: float = 0.0
+    blocked_on: tuple[Any, Any] | None = None  # (src, tag) when waiting on recv
+    in_barrier: Hashable | None = None
+    done: bool = False
+    # messages that arrived but were not yet consumed: (src, tag) -> deque
+    mailbox: dict[tuple[int, Hashable], deque] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.mailbox = {}
+
+
+class Machine:
+    """A simulated distributed-memory machine.
+
+    Parameters
+    ----------
+    n_procs:
+        Number of processors; ignored if ``topology`` is given.
+    topology:
+        Interconnect; defaults to :class:`Complete` over ``n_procs``.
+    cost:
+        Timing model; defaults to :meth:`CostModel.balanced`.
+    """
+
+    def __init__(
+        self,
+        n_procs: int | None = None,
+        topology: Topology | None = None,
+        cost: CostModel | None = None,
+    ):
+        if topology is None:
+            if n_procs is None:
+                raise MachineError("Machine requires n_procs or topology")
+            topology = Complete(n_procs)
+        elif n_procs is not None and n_procs != topology.n_procs:
+            raise MachineError(
+                f"n_procs={n_procs} disagrees with topology ({topology.n_procs})"
+            )
+        self.topology = topology
+        self.cost = cost if cost is not None else CostModel.balanced()
+
+    @property
+    def n_procs(self) -> int:
+        return self.topology.n_procs
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        programs: dict[int, NodeProgram] | Callable[[int], NodeProgram],
+        ranks: Iterable[int] | None = None,
+    ) -> Trace:
+        """Run node programs to completion and return the trace.
+
+        ``programs`` is either a dict mapping rank -> generator, or a
+        factory called with each rank in ``ranks`` (default: all ranks).
+        """
+        if callable(programs) and not isinstance(programs, dict):
+            use_ranks = list(ranks) if ranks is not None else list(range(self.n_procs))
+            progs = {r: programs(r) for r in use_ranks}
+        else:
+            progs = dict(programs)
+        for r in progs:
+            self.topology.check_rank(r)
+
+        procs = {r: _Proc(r, g) for r, g in progs.items()}
+        trace = Trace(n_procs=self.n_procs)
+        seq = itertools.count()
+        # event heap entries: (time, seqno, kind, payload)
+        #   kind "resume": payload = (rank, value_to_send)
+        #   kind "arrive": payload = MessageRecord-in-progress tuple
+        heap: list[tuple[float, int, str, Any]] = []
+        in_flight = 0
+        barriers: dict[tuple[Hashable, tuple[int, ...]], list[int]] = {}
+
+        def push(time: float, kind: str, payload: Any) -> None:
+            heapq.heappush(heap, (time, next(seq), kind, payload))
+
+        for r in procs:
+            push(0.0, "resume", (r, None))
+
+        def try_match(proc: _Proc) -> tuple[Any, float] | None:
+            """Find the earliest-arrived mailbox message matching the block."""
+            src, tag = proc.blocked_on  # type: ignore[misc]
+            best_key = None
+            best_time = None
+            for (msrc, mtag), q in proc.mailbox.items():
+                if not q:
+                    continue
+                if src is not ANY and msrc != src:
+                    continue
+                if tag is not ANY and mtag != tag:
+                    continue
+                t = q[0][0]
+                if best_time is None or t < best_time:
+                    best_time = t
+                    best_key = (msrc, mtag)
+            if best_key is None:
+                return None
+            arrive_t, data, rec_idx = procs_mail_pop(proc, best_key)
+            return (data, arrive_t, rec_idx)
+
+        def procs_mail_pop(proc: _Proc, key: tuple[int, Hashable]):
+            arrive_t, data, rec_idx = proc.mailbox[key].popleft()
+            if not proc.mailbox[key]:
+                del proc.mailbox[key]
+            return arrive_t, data, rec_idx
+
+        def advance(proc: _Proc, send_value: Any) -> None:
+            """Drive one processor until it blocks, sleeps, or finishes."""
+            nonlocal in_flight
+            value = send_value
+            while True:
+                try:
+                    op = proc.gen.send(value)
+                except StopIteration:
+                    proc.done = True
+                    trace.finish_times[proc.rank] = proc.clock
+                    return
+                value = None
+                if isinstance(op, Compute):
+                    dt = (
+                        op.seconds
+                        if op.seconds is not None
+                        else self.cost.compute_time(op.flops)  # type: ignore[arg-type]
+                    )
+                    start = proc.clock
+                    proc.clock += dt
+                    trace.computes.append(
+                        ComputeRecord(proc.rank, start, proc.clock, op.label)
+                    )
+                    if dt > 0.0:
+                        push(proc.clock, "resume", (proc.rank, None))
+                        return
+                    continue
+                if isinstance(op, Send):
+                    self.topology.check_rank(op.dst)
+                    if op.dst not in procs:
+                        raise MachineError(
+                            f"proc {proc.rank} sends to rank {op.dst} "
+                            "which runs no program"
+                        )
+                    nbytes = op.size()
+                    hops = self.topology.hops(proc.rank, op.dst)
+                    t_send = proc.clock
+                    proc.clock += self.cost.send_overhead
+                    t_arrive = t_send + self.cost.message_time(nbytes, hops)
+                    rec = MessageRecord(
+                        src=proc.rank,
+                        dst=op.dst,
+                        tag=op.tag,
+                        nbytes=nbytes,
+                        hops=hops,
+                        t_send=t_send,
+                        t_arrive=t_arrive,
+                    )
+                    trace.messages.append(rec)
+                    rec_idx = len(trace.messages) - 1
+                    in_flight += 1
+                    push(
+                        t_arrive,
+                        "arrive",
+                        (op.dst, proc.rank, op.tag, _snapshot(op.data), rec_idx),
+                    )
+                    if self.cost.send_overhead > 0.0:
+                        push(proc.clock, "resume", (proc.rank, None))
+                        return
+                    continue
+                if isinstance(op, Recv):
+                    proc.blocked_on = (op.src, op.tag)
+                    match = try_match(proc)
+                    if match is not None:
+                        data, arrive_t, rec_idx = match
+                        proc.clock = max(proc.clock, arrive_t)
+                        proc.blocked_on = None
+                        _stamp_recv(rec_idx, proc.clock)
+                        value = data
+                        continue
+                    return  # stay blocked; arrival will resume us
+                if isinstance(op, Barrier):
+                    key = (op.tag, tuple(sorted(op.group)))
+                    if proc.rank not in op.group:
+                        raise MachineError(
+                            f"proc {proc.rank} entered barrier {op.tag!r} "
+                            f"it does not belong to"
+                        )
+                    barriers.setdefault(key, []).append(proc.rank)
+                    proc.in_barrier = key
+                    waiting = barriers[key]
+                    if len(waiting) == len(op.group):
+                        release = max(procs[r].clock for r in waiting)
+                        for r in waiting:
+                            procs[r].in_barrier = None
+                            procs[r].clock = release
+                            push(release, "resume", (r, None))
+                        del barriers[key]
+                    return
+                if isinstance(op, Mark):
+                    trace.marks.append(
+                        MarkRecord(proc.rank, proc.clock, op.label, op.payload)
+                    )
+                    continue
+                if isinstance(op, Now):
+                    value = proc.clock
+                    continue
+                raise MachineError(
+                    f"proc {proc.rank} yielded unknown op {op!r}"
+                )
+
+        def _stamp_recv(rec_idx: int, t_recv: float) -> None:
+            rec = trace.messages[rec_idx]
+            trace.messages[rec_idx] = MessageRecord(
+                src=rec.src,
+                dst=rec.dst,
+                tag=rec.tag,
+                nbytes=rec.nbytes,
+                hops=rec.hops,
+                t_send=rec.t_send,
+                t_arrive=rec.t_arrive,
+                t_recv=t_recv,
+            )
+
+        while heap:
+            _time, _s, kind, payload = heapq.heappop(heap)
+            if kind == "resume":
+                rank, val = payload
+                proc = procs[rank]
+                if proc.done:
+                    continue
+                advance(proc, val)
+            elif kind == "arrive":
+                dst, src, tag, data, rec_idx = payload
+                in_flight -= 1
+                proc = procs[dst]
+                if proc.done:
+                    raise MachineError(
+                        f"message {tag!r} from {src} arrived at finished proc {dst}"
+                    )
+                proc.mailbox.setdefault((src, tag), deque()).append(
+                    (_time, data, rec_idx)
+                )
+                if proc.blocked_on is not None:
+                    match = try_match(proc)
+                    if match is not None:
+                        mdata, arrive_t, midx = match
+                        proc.clock = max(proc.clock, arrive_t)
+                        proc.blocked_on = None
+                        _stamp_recv(midx, proc.clock)
+                        advance(proc, mdata)
+            else:  # pragma: no cover - defensive
+                raise MachineError(f"unknown event kind {kind!r}")
+
+        blocked = {
+            r: p.blocked_on for r, p in procs.items() if not p.done and p.blocked_on
+        }
+        stuck_barrier = {r: p.in_barrier for r, p in procs.items() if p.in_barrier}
+        if blocked:
+            raise DeadlockError(blocked)
+        if stuck_barrier:
+            raise DeadlockError(
+                {r: ("barrier", key) for r, key in stuck_barrier.items()}
+            )
+        unfinished = [r for r, p in procs.items() if not p.done]
+        if unfinished:  # pragma: no cover - defensive
+            raise MachineError(f"procs {unfinished} never finished")
+        leftovers = [
+            (r, key)
+            for r, p in procs.items()
+            for key, q in p.mailbox.items()
+            if q
+        ]
+        if leftovers:
+            raise MachineError(f"unconsumed messages at exit: {leftovers}")
+        return trace

@@ -1,0 +1,148 @@
+"""Execution traces: the simulator's record of what happened when.
+
+The trace is the measurement instrument for every benchmark in this
+reproduction: processor utilization (pipelined-solver claim), message
+counts and volumes (distribution-tuning claim), and Mark events (the
+data-flow-graph figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True)
+class ComputeRecord:
+    proc: int
+    start: float
+    end: float
+    label: str | None = None
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    src: int
+    dst: int
+    tag: Hashable
+    nbytes: int
+    hops: int
+    t_send: float
+    t_arrive: float
+    t_recv: float | None = None
+
+
+@dataclass(frozen=True)
+class MarkRecord:
+    proc: int
+    time: float
+    label: str
+    payload: Any = None
+
+
+@dataclass
+class Trace:
+    """Complete record of one simulated run."""
+
+    n_procs: int
+    computes: list[ComputeRecord] = field(default_factory=list)
+    messages: list[MessageRecord] = field(default_factory=list)
+    marks: list[MarkRecord] = field(default_factory=list)
+    finish_times: dict[int, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    def makespan(self) -> float:
+        """Latest event time across all processors."""
+        times = [0.0]
+        times.extend(self.finish_times.values())
+        times.extend(c.end for c in self.computes)
+        times.extend(m.t_arrive for m in self.messages)
+        return max(times)
+
+    def busy_time(self, proc: int) -> float:
+        """Total compute-busy seconds of one processor."""
+        return sum(c.end - c.start for c in self.computes if c.proc == proc)
+
+    def total_busy_time(self) -> float:
+        return sum(c.end - c.start for c in self.computes)
+
+    def utilization(self, proc: int | None = None) -> float:
+        """Busy fraction of one processor, or average over all of them."""
+        span = self.makespan()
+        if span <= 0.0:
+            return 0.0
+        if proc is not None:
+            return self.busy_time(proc) / span
+        return self.total_busy_time() / (span * self.n_procs)
+
+    def message_count(self) -> int:
+        return len(self.messages)
+
+    def total_bytes(self) -> int:
+        return sum(m.nbytes for m in self.messages)
+
+    def comm_time(self) -> float:
+        """Sum of in-flight message times (not wall time)."""
+        return sum(m.t_arrive - m.t_send for m in self.messages)
+
+    # ------------------------------------------------------------------
+    # Mark-based analysis (data-flow figures)
+    # ------------------------------------------------------------------
+
+    def marks_with(self, label: str) -> list[MarkRecord]:
+        """All marks whose label equals ``label``."""
+        return [m for m in self.marks if m.label == label]
+
+    def marks_prefixed(self, prefix: str) -> list[MarkRecord]:
+        """All marks whose label starts with ``prefix``."""
+        return [m for m in self.marks if m.label.startswith(prefix)]
+
+    def active_procs_by_payload(self, label: str) -> dict[Any, list[int]]:
+        """Group processors by mark payload (e.g. step number -> procs).
+
+        Used to regenerate the paper's Figure 3 data-flow graph: each
+        reduction/substitution step marks its active processors and the
+        payload identifies the step.
+        """
+        out: dict[Any, list[int]] = {}
+        for m in self.marks_with(label):
+            out.setdefault(m.payload, []).append(m.proc)
+        for procs in out.values():
+            procs.sort()
+        return out
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def gantt(self, width: int = 72) -> str:
+        """Plain-text Gantt chart of compute activity per processor."""
+        span = self.makespan()
+        lines = []
+        if span <= 0.0:
+            return "\n".join(f"P{p:<3} |" + " " * width + "|" for p in range(self.n_procs))
+        for p in range(self.n_procs):
+            row = [" "] * width
+            for c in self.computes:
+                if c.proc != p:
+                    continue
+                lo = int(c.start / span * (width - 1))
+                hi = max(lo, int(c.end / span * (width - 1)))
+                for x in range(lo, hi + 1):
+                    row[x] = "#"
+            lines.append(f"P{p:<3} |{''.join(row)}| busy={self.busy_time(p):.4g}s")
+        lines.append(f"makespan={span:.6g}s  util={self.utilization():.3f}")
+        return "\n".join(lines)
+
+    def summary(self) -> dict[str, float]:
+        """Headline numbers for benchmark reporting."""
+        return {
+            "makespan": self.makespan(),
+            "utilization": self.utilization(),
+            "messages": float(self.message_count()),
+            "bytes": float(self.total_bytes()),
+            "busy_time": self.total_busy_time(),
+        }

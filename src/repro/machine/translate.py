@@ -1,0 +1,40 @@
+"""Rank translation for running kernels on processor-grid slices.
+
+Kernel node programs (tridiagonal solvers, FFT) address processors by
+dense internal ranks 0..p-1.  When such a kernel runs on a slice of the
+real processor array (e.g. one column of a 2-D grid, as every ADI line
+solve does), the internal ranks must be mapped to the slice's machine
+ranks.  ``translate_ranks`` rewrites Send destinations, Recv sources and
+Barrier groups of a node program through the group table -- the runtime
+equivalent of KF1 passing ``procs(*, jp)`` to a parsub.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.machine.ops import ANY, Barrier, Recv, Send
+
+
+def translate_ranks(program, group: Sequence[int]):
+    """Wrap a node program, mapping internal ranks through ``group``.
+
+    ``group[i]`` is the machine rank playing internal rank ``i``.  The
+    wrapped generator forwards values and return results transparently.
+    """
+    table = list(group)
+    send_value = None
+    while True:
+        try:
+            op = program.send(send_value)
+        except StopIteration as stop:
+            return stop.value
+        send_value = None
+        if isinstance(op, Send):
+            op = Send(dst=table[op.dst], data=op.data, tag=op.tag, nbytes=op.nbytes)
+        elif isinstance(op, Recv):
+            src = op.src if op.src is ANY else table[op.src]
+            op = Recv(src=src, tag=op.tag)
+        elif isinstance(op, Barrier):
+            op = Barrier(group=tuple(table[r] for r in op.group), tag=op.tag)
+        send_value = yield op

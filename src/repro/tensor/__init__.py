@@ -1,0 +1,49 @@
+"""Tensor product array computations (paper sections 4-5).
+
+Multi-dimensional algorithms built by applying one-dimensional kernels
+to lower-dimensional slices of distributed arrays:
+
+* :mod:`repro.tensor.kron` -- Kronecker-product operators and axis-wise
+  application utilities (the algebraic definition of "tensor product
+  computation");
+* :mod:`repro.tensor.poisson` -- model problems, discrete operators and
+  sequential reference solvers shared by the algorithms and tests;
+* :mod:`repro.tensor.jacobi` -- Listing 3's Jacobi iteration on the DSL;
+* :mod:`repro.tensor.adi` -- Listings 7-8: ADI with non-pipelined and
+  pipelined parallel tridiagonal solves;
+* :mod:`repro.tensor.multigrid2d` -- Listing 11: 2-D multigrid with
+  zebra line relaxation and y-semi-coarsening;
+* :mod:`repro.tensor.multigrid3d` -- Listings 9-10: 3-D multigrid with
+  zebra plane relaxation and z-semi-coarsening, plane solves running on
+  processor-grid slices.
+"""
+
+from repro.tensor.kron import kron_matvec, kron_matmat, apply_along_axis
+from repro.tensor.poisson import (
+    laplacian_2d,
+    laplacian_3d,
+    manufactured_2d,
+    manufactured_3d,
+)
+from repro.tensor.jacobi import jacobi_kf1, jacobi_reference
+from repro.tensor.adi import adi_solve, adi_reference
+from repro.tensor.multigrid2d import mg2_solve, mg2_reference
+from repro.tensor.multigrid3d import mg3_solve, mg3_reference
+
+__all__ = [
+    "kron_matvec",
+    "kron_matmat",
+    "apply_along_axis",
+    "laplacian_2d",
+    "laplacian_3d",
+    "manufactured_2d",
+    "manufactured_3d",
+    "jacobi_kf1",
+    "jacobi_reference",
+    "adi_solve",
+    "adi_reference",
+    "mg2_solve",
+    "mg2_reference",
+    "mg3_solve",
+    "mg3_reference",
+]

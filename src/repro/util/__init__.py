@@ -1,0 +1,35 @@
+"""Shared utilities: error types, index math, validation helpers."""
+
+from repro.util.errors import (
+    ReproError,
+    MachineError,
+    DeadlockError,
+    DistributionError,
+    CompileError,
+    ValidationError,
+)
+from repro.util.indexing import (
+    ceil_div,
+    block_bounds,
+    block_owner,
+    cyclic_owner,
+    normalize_range,
+    range_length,
+    intersect_ranges,
+)
+
+__all__ = [
+    "ReproError",
+    "MachineError",
+    "DeadlockError",
+    "DistributionError",
+    "CompileError",
+    "ValidationError",
+    "ceil_div",
+    "block_bounds",
+    "block_owner",
+    "cyclic_owner",
+    "normalize_range",
+    "range_length",
+    "intersect_ranges",
+]

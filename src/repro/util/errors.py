@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class MachineError(ReproError):
+    """Error in the simulated machine layer (bad rank, bad op, ...)."""
+
+
+class DeadlockError(MachineError):
+    """All live processors are blocked and no messages are in flight.
+
+    Carries a per-processor diagnosis of what each blocked processor was
+    waiting for, so a user can see the mismatched send/recv immediately.
+    """
+
+    def __init__(self, blocked: dict):
+        self.blocked = dict(blocked)
+        lines = ["deadlock: all live processors blocked on receives"]
+        for rank in sorted(self.blocked):
+            src, tag = self.blocked[rank]
+            lines.append(f"  proc {rank}: waiting on recv(src={src!r}, tag={tag!r})")
+        super().__init__("\n".join(lines))
+
+
+class DistributionError(ReproError):
+    """Invalid data-distribution specification or index mapping."""
+
+
+class CompileError(ReproError):
+    """The mini-compiler could not lower a doall loop."""
+
+
+class ValidationError(ReproError):
+    """Invalid argument to a public API function."""

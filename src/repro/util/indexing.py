@@ -1,0 +1,72 @@
+"""Integer index math shared by distributions and the compiler.
+
+All ranges here are half-open ``(start, stop)`` pairs over global indices,
+matching Python convention.  The KF1 listings use inclusive Fortran bounds;
+the language layer converts at its boundary.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ValidationError
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValidationError(f"ceil_div requires positive divisor, got {b}")
+    return -(-a // b)
+
+
+def block_bounds(n: int, p: int, rank: int) -> tuple[int, int]:
+    """Half-open bounds of block ``rank`` when ``n`` items split over ``p``.
+
+    Uses the balanced splitting rule: the first ``n % p`` blocks get
+    ``n // p + 1`` items.  For ``n % p == 0`` this is the paper's
+    ``l_i = (i-1)n/p + 1 .. u_i = i n/p`` rule (0-indexed, half-open).
+    """
+    if not 0 <= rank < p:
+        raise ValidationError(f"rank {rank} out of range for p={p}")
+    base, extra = divmod(n, p)
+    lo = rank * base + min(rank, extra)
+    hi = lo + base + (1 if rank < extra else 0)
+    return lo, hi
+
+
+def block_owner(n: int, p: int, index: int) -> int:
+    """Owner rank of global ``index`` under the balanced block rule."""
+    if not 0 <= index < n:
+        raise ValidationError(f"index {index} out of range for n={n}")
+    base, extra = divmod(n, p)
+    split = extra * (base + 1)
+    if index < split:
+        return index // (base + 1)
+    if base == 0:
+        # n < p: every item lives in one of the first ``extra`` blocks.
+        raise ValidationError(f"index {index} unowned: n={n} < p={p}")
+    return extra + (index - split) // base
+
+
+def cyclic_owner(p: int, index: int) -> int:
+    """Owner rank of global ``index`` under round-robin distribution."""
+    return index % p
+
+
+def normalize_range(lo: int, hi: int, step: int = 1) -> tuple[int, int, int]:
+    """Validate and normalize a half-open strided range."""
+    if step <= 0:
+        raise ValidationError(f"range step must be positive, got {step}")
+    if hi < lo:
+        hi = lo
+    return lo, hi, step
+
+
+def range_length(lo: int, hi: int, step: int = 1) -> int:
+    """Number of points in ``range(lo, hi, step)``."""
+    if hi <= lo:
+        return 0
+    return ceil_div(hi - lo, step)
+
+
+def intersect_ranges(a: tuple[int, int], b: tuple[int, int]) -> tuple[int, int]:
+    """Intersection of two half-open ranges; empty results have hi <= lo."""
+    return max(a[0], b[0]), min(a[1], b[1])

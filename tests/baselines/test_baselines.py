@@ -1,0 +1,82 @@
+"""Tests for the sequential and message-passing baselines and LoC counts."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    count_loc,
+    jacobi_message_passing,
+    jacobi_sequential,
+    loc_report,
+    mp_jacobi_node,
+)
+from repro.machine import CostModel, Machine
+from repro.tensor.jacobi import jacobi_reference
+from repro.util.errors import ValidationError
+
+
+def poisson_f(n, seed=0):
+    rng = np.random.default_rng(seed)
+    f = 0.01 * rng.standard_normal((n + 1, n + 1))
+    f[0] = f[-1] = 0.0
+    f[:, 0] = f[:, -1] = 0.0
+    return f
+
+
+def test_sequential_matches_reference():
+    f = poisson_f(10)
+    np.testing.assert_allclose(jacobi_sequential(f, 6), jacobi_reference(f, 6))
+
+
+@pytest.mark.parametrize("p", [1, 2, 3])
+def test_message_passing_matches_sequential(p):
+    f = poisson_f(12, seed=p)
+    m = Machine(n_procs=p * p)
+    X, trace = jacobi_message_passing(m, p, f, iters=5)
+    np.testing.assert_allclose(X, jacobi_sequential(f, 5), rtol=1e-13, atol=1e-15)
+
+
+def test_message_passing_neighbor_messages_only():
+    f = poisson_f(12, seed=9)
+    m = Machine(n_procs=9)
+    _, trace = jacobi_message_passing(m, 3, f, iters=1)
+    # 3x3 grid: 12 interior edges, 2 messages each
+    assert trace.message_count() == 24
+    for msg in trace.messages:
+        si, sj = divmod(msg.src, 3)
+        di, dj = divmod(msg.dst, 3)
+        assert abs(si - di) + abs(sj - dj) == 1  # strict 4-neighbor pattern
+
+
+def test_message_passing_validates():
+    f = poisson_f(4)
+    with pytest.raises(ValidationError):
+        jacobi_message_passing(Machine(n_procs=4), 4, f, 1)  # machine too small
+    with pytest.raises(ValidationError):
+        jacobi_message_passing(Machine(n_procs=100), 4, f[:3, :], 1)
+
+
+def test_count_loc_ignores_docs_comments_blanks():
+    def tiny(x):
+        """Docstring should not count."""
+        # comment
+        y = x + 1
+
+        return y
+
+    assert count_loc(tiny) == 3  # def, assign, return
+
+
+def test_loc_report_ratio_shape():
+    """The paper's claim: MP version is several times the sequential one."""
+    from repro.tensor.jacobi import build_jacobi_loop, jacobi_kf1
+
+    report = loc_report(
+        {
+            "sequential": jacobi_sequential,
+            "message_passing": [mp_jacobi_node, jacobi_message_passing],
+            "kf1": [build_jacobi_loop, jacobi_kf1],
+        }
+    )
+    assert report["message_passing"] > 3 * report["sequential"]
+    assert report["kf1"] < report["message_passing"]

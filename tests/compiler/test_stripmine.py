@@ -1,0 +1,181 @@
+"""Unit tests for strip-mining iteration sets."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.stripmine import stripmine
+from repro.lang import Assign, DistArray, Doall, OnProc, Owner, ProcessorGrid, loopvars
+from repro.util.errors import CompileError
+
+
+def make_loop_1d(n=12, p=4, dist="block", rng=None):
+    g = ProcessorGrid((p,))
+    X = DistArray((n,), g, dist=(dist,), name="X")
+    (i,) = loopvars("i")
+    lo, hi = rng if rng else (0, n - 1)
+    loop = Doall(
+        vars=(i,),
+        ranges=[(lo, hi)],
+        on=Owner(X, (i,)),
+        body=[Assign(X[i], X[i] + 1.0)],
+        grid=g,
+    )
+    return g, X, loop
+
+
+def test_block_owner_stripmine_partitions():
+    g, X, loop = make_loop_1d()
+    sets = stripmine(loop)
+    all_idx = np.concatenate([sets[r].arrays["i"] for r in g.linear])
+    np.testing.assert_array_equal(np.sort(all_idx), np.arange(12))
+    np.testing.assert_array_equal(sets[0].arrays["i"], [0, 1, 2])
+
+
+def test_interior_range_respected():
+    g, X, loop = make_loop_1d(rng=(1, 10))
+    sets = stripmine(loop)
+    np.testing.assert_array_equal(sets[0].arrays["i"], [1, 2])
+    np.testing.assert_array_equal(sets[3].arrays["i"], [9, 10])
+
+
+def test_cyclic_owner_stripmine():
+    g, X, loop = make_loop_1d(dist="cyclic")
+    sets = stripmine(loop)
+    np.testing.assert_array_equal(sets[1].arrays["i"], [1, 5, 9])
+
+
+def test_shifted_owner_expression():
+    g = ProcessorGrid((4,))
+    X = DistArray((12,), g, dist=("block",), name="X")
+    (i,) = loopvars("i")
+    loop = Doall(
+        vars=(i,),
+        ranges=[(0, 10)],
+        on=Owner(X, (i + 1,)),  # iteration i runs where X[i+1] lives
+        body=[Assign(X[i + 1], X[i] * 1.0)],
+        grid=g,
+    )
+    sets = stripmine(loop)
+    np.testing.assert_array_equal(sets[0].arrays["i"], [0, 1])  # owns X[0..2]
+    np.testing.assert_array_equal(sets[1].arrays["i"], [2, 3, 4])
+
+
+def test_strided_range():
+    g, X, loop = make_loop_1d()
+    (k,) = loopvars("k")
+    loop2 = Doall(
+        vars=(k,),
+        ranges=[(0, 11, 2)],
+        on=Owner(X, (k,)),
+        body=[Assign(X[k], X[k] + 1.0)],
+        grid=g,
+    )
+    sets = stripmine(loop2)
+    np.testing.assert_array_equal(sets[0].arrays["k"], [0, 2])
+    np.testing.assert_array_equal(sets[1].arrays["k"], [4])
+
+
+def test_2d_owner_box_product():
+    g = ProcessorGrid((2, 2))
+    X = DistArray((8, 8), g, dist=("block", "block"), name="X")
+    i, j = loopvars("i j")
+    loop = Doall(
+        vars=(i, j),
+        ranges=[(1, 6), (1, 6)],
+        on=Owner(X, (i, j)),
+        body=[Assign(X[i, j], X[i, j] + 1.0)],
+        grid=g,
+    )
+    sets = stripmine(loop)
+    s0 = sets[0]
+    np.testing.assert_array_equal(s0.arrays["i"], [1, 2, 3])
+    np.testing.assert_array_equal(s0.arrays["j"], [1, 2, 3])
+    assert s0.count() == 9
+    assert sets[3].count() == 9
+    total = sum(sets[r].count() for r in g.linear)
+    assert total == 36
+
+
+def test_onproc_explicit_placement():
+    g = ProcessorGrid((4,))
+    T = DistArray((16,), g, dist=("block",), name="T")
+    (ip,) = loopvars("ip")
+    loop = Doall(
+        vars=(ip,),
+        ranges=[(0, 3)],
+        on=OnProc(g, (ip,)),
+        body=[Assign(T[4 * ip], T[4 * ip] + 1.0)],
+        grid=g,
+    )
+    sets = stripmine(loop)
+    for r in range(4):
+        np.testing.assert_array_equal(sets[r].arrays["ip"], [r])
+
+
+def test_onproc_unconstrained_dim_replicates():
+    g = ProcessorGrid((2, 2))
+    T = DistArray((8, 8), g, dist=("block", "block"), name="T")
+    (ip,) = loopvars("ip")
+    loop = Doall(
+        vars=(ip,),
+        ranges=[(0, 1)],
+        on=OnProc(g, (ip, None)),  # on procs(ip, *)
+        body=[Assign(T[4 * ip, 0], T[4 * ip, 0] + 1.0)],
+        grid=g,
+    )
+    sets = stripmine(loop)
+    # both procs in each grid row execute the row's iteration
+    np.testing.assert_array_equal(sets[0].arrays["ip"], [0])
+    np.testing.assert_array_equal(sets[1].arrays["ip"], [0])
+    np.testing.assert_array_equal(sets[2].arrays["ip"], [1])
+    np.testing.assert_array_equal(sets[3].arrays["ip"], [1])
+
+
+def test_owner_star_dim_means_unconstrained():
+    g = ProcessorGrid((2, 2))
+    r_arr = DistArray((8, 8), g, dist=("block", "block"), name="r")
+    (i,) = loopvars("i")
+    loop = Doall(
+        vars=(i,),
+        ranges=[(0, 7)],
+        on=Owner(r_arr, (i, None)),  # owner(r(i, *))
+        body=[Assign(r_arr[i, 0], r_arr[i, 0] + 1.0)],
+        grid=g,
+    )
+    sets = stripmine(loop)
+    # grid dim 0 constrained by i, dim 1 unconstrained
+    np.testing.assert_array_equal(sets[0].arrays["i"], [0, 1, 2, 3])
+    np.testing.assert_array_equal(sets[1].arrays["i"], [0, 1, 2, 3])
+    np.testing.assert_array_equal(sets[2].arrays["i"], [4, 5, 6, 7])
+
+
+def test_multi_var_on_expr_rejected():
+    g = ProcessorGrid((4,))
+    X = DistArray((12,), g, dist=("block",), name="X")
+    i, j = loopvars("i j")
+    loop = Doall(
+        vars=(i, j),
+        ranges=[(0, 3), (0, 3)],
+        on=Owner(X, (i + j,)),
+        body=[Assign(X[i + j], X[i + j] + 1.0)],
+        grid=g,
+    )
+    with pytest.raises(CompileError):
+        stripmine(loop)
+
+
+def test_constant_owner_expr_selects_one_proc():
+    g = ProcessorGrid((4,))
+    X = DistArray((12,), g, dist=("block",), name="X")
+    (i,) = loopvars("i")
+    loop = Doall(
+        vars=(i,),
+        ranges=[(0, 11)],
+        on=Owner(X, (0,)),  # every invocation on owner of X[0] = proc 0
+        body=[Assign(X[i], X[i] + 1.0)],
+        grid=g,
+    )
+    sets = stripmine(loop)
+    assert sets[0].count() == 12
+    assert sets[1].count() == 0
+    assert sets[1].empty

@@ -1,0 +1,59 @@
+"""Integration: FFT kernel + tridiagonal kernel composed into a solver."""
+
+import numpy as np
+import pytest
+
+from repro.machine import CostModel, Machine
+from repro.tensor.fourier_poisson import (
+    apply_operator,
+    fourier_poisson_reference,
+    fourier_poisson_solve,
+)
+from repro.util.errors import ValidationError
+
+
+def problem(nx, ny, seed=0):
+    rng = np.random.default_rng(seed)
+    f = rng.standard_normal((nx, ny + 1))
+    f -= f.mean(axis=0)  # remove the x-constant mode's mean per line
+    f[:, 0] = 0.0
+    f[:, -1] = 0.0
+    return f
+
+
+def test_reference_satisfies_equation():
+    f = problem(16, 12)
+    u = fourier_poisson_reference(f)
+    r = f - apply_operator(u)
+    assert np.max(np.abs(r[:, 1:-1])) < 1e-9
+
+
+def test_reference_dirichlet_boundaries():
+    f = problem(8, 8, seed=1)
+    u = fourier_poisson_reference(f)
+    assert np.max(np.abs(u[:, 0])) < 1e-12
+    assert np.max(np.abs(u[:, -1])) < 1e-12
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+def test_distributed_matches_reference(p):
+    f = problem(16, 10, seed=p)
+    m = Machine(n_procs=p, cost=CostModel.balanced())
+    u, trace = fourier_poisson_solve(m, f, p)
+    ref = fourier_poisson_reference(f)
+    np.testing.assert_allclose(u, ref, rtol=1e-9, atol=1e-10)
+
+
+def test_distributed_communicates_for_fft():
+    f = problem(16, 6, seed=7)
+    m = Machine(n_procs=4)
+    _, trace = fourier_poisson_solve(m, f, 4)
+    assert trace.message_count() > 0
+
+
+def test_validation():
+    m = Machine(n_procs=2)
+    with pytest.raises(ValidationError):
+        fourier_poisson_solve(m, problem(12, 8), 2)  # nx not power of two
+    with pytest.raises(ValidationError):
+        fourier_poisson_solve(Machine(n_procs=3), problem(16, 8), 3)

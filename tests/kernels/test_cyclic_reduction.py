@@ -1,0 +1,55 @@
+"""Tests for the cyclic reduction baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.cyclic_reduction import (
+    cyclic_reduction_solve,
+    distributed_cyclic_reduction,
+)
+from repro.kernels.thomas import thomas_solve
+
+
+def dominant_system(n, seed):
+    rng = np.random.default_rng(seed)
+    b = rng.uniform(-1, 1, n)
+    c = rng.uniform(-1, 1, n)
+    a = np.abs(b) + np.abs(c) + rng.uniform(1.0, 2.0, n)
+    f = rng.uniform(-5, 5, n)
+    return b, a, c, f
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 17, 64])
+def test_sequential_cr_matches_thomas(n):
+    b, a, c, f = dominant_system(n, n)
+    np.testing.assert_allclose(
+        cyclic_reduction_solve(b, a, c, f), thomas_solve(b, a, c, f), rtol=1e-8
+    )
+
+
+@settings(max_examples=30)
+@given(n=st.integers(min_value=1, max_value=100), seed=st.integers(0, 2**31))
+def test_property_cr_equals_thomas(n, seed):
+    b, a, c, f = dominant_system(n, seed)
+    np.testing.assert_allclose(
+        cyclic_reduction_solve(b, a, c, f),
+        thomas_solve(b, a, c, f),
+        rtol=1e-6,
+        atol=1e-8,
+    )
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+@pytest.mark.parametrize("n", [8, 19, 32])
+def test_distributed_cr_matches_thomas(p, n):
+    b, a, c, f = dominant_system(n, n * 10 + p)
+    x, trace = distributed_cyclic_reduction(b, a, c, f, p)
+    np.testing.assert_allclose(x, thomas_solve(b, a, c, f), rtol=1e-8)
+
+
+def test_distributed_cr_communicates_each_level():
+    b, a, c, f = dominant_system(64, 3)
+    _, trace = distributed_cyclic_reduction(b, a, c, f, 4)
+    assert trace.message_count() > 0

@@ -1,0 +1,94 @@
+"""Tests for the pipelined multi-system solver (Listing 6)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.pipelined import (
+    pipelined_multi_tri_solve,
+    sequential_multi_tri_solve,
+)
+from repro.kernels.substructured import ContiguousMapping, ShuffleMapping
+from repro.kernels.thomas import thomas_solve
+from repro.machine import CostModel, Machine
+from repro.util.errors import ValidationError
+
+
+def dominant_systems(m, n, seed=0):
+    rng = np.random.default_rng(seed)
+    B = rng.uniform(-1, 1, (m, n))
+    C = rng.uniform(-1, 1, (m, n))
+    A = np.abs(B) + np.abs(C) + rng.uniform(1.0, 2.0, (m, n))
+    F = rng.uniform(-5, 5, (m, n))
+    return B, A, C, F
+
+
+def reference(B, A, C, F):
+    return np.stack([thomas_solve(B[s], A[s], C[s], F[s]) for s in range(len(A))])
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8])
+def test_pipelined_matches_thomas(p):
+    B, A, C, F = dominant_systems(5, 32, seed=p)
+    X, _ = pipelined_multi_tri_solve(B, A, C, F, p)
+    np.testing.assert_allclose(X, reference(B, A, C, F), rtol=1e-8)
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+def test_sequential_matches_thomas(p):
+    B, A, C, F = dominant_systems(4, 24, seed=p + 50)
+    X, _ = sequential_multi_tri_solve(B, A, C, F, p)
+    np.testing.assert_allclose(X, reference(B, A, C, F), rtol=1e-8)
+
+
+def test_pipelined_contiguous_mapping_also_correct():
+    B, A, C, F = dominant_systems(3, 32, seed=9)
+    X, _ = pipelined_multi_tri_solve(B, A, C, F, 8, mapping_cls=ContiguousMapping)
+    np.testing.assert_allclose(X, reference(B, A, C, F), rtol=1e-8)
+
+
+def test_single_system_matches_substructured():
+    B, A, C, F = dominant_systems(1, 32, seed=10)
+    X, _ = pipelined_multi_tri_solve(B, A, C, F, 4)
+    np.testing.assert_allclose(X[0], thomas_solve(B[0], A[0], C[0], F[0]), rtol=1e-8)
+
+
+def test_pipelined_beats_sequential_makespan():
+    """Listing 6's point: pipelining lowers makespan for many systems."""
+    B, A, C, F = dominant_systems(16, 128, seed=11)
+    p = 8
+    cost = CostModel.balanced()
+    _, t_seq = sequential_multi_tri_solve(
+        B, A, C, F, p, machine=Machine(n_procs=p, cost=cost)
+    )
+    _, t_pipe = pipelined_multi_tri_solve(
+        B, A, C, F, p, machine=Machine(n_procs=p, cost=cost)
+    )
+    assert t_pipe.makespan() < t_seq.makespan()
+
+
+def test_pipelined_improves_utilization():
+    """'More of the processors are kept busy' (section 3)."""
+    B, A, C, F = dominant_systems(16, 128, seed=12)
+    p = 8
+    cost = CostModel.balanced()
+    _, t_seq = sequential_multi_tri_solve(
+        B, A, C, F, p, machine=Machine(n_procs=p, cost=cost)
+    )
+    _, t_pipe = pipelined_multi_tri_solve(
+        B, A, C, F, p, machine=Machine(n_procs=p, cost=cost)
+    )
+    assert t_pipe.utilization() > t_seq.utilization()
+
+
+def test_shape_validation():
+    B, A, C, F = dominant_systems(2, 16)
+    with pytest.raises(ValidationError):
+        pipelined_multi_tri_solve(B[:1], A, C, F, 2)
+    with pytest.raises(ValidationError):
+        pipelined_multi_tri_solve(B, A, C, F, 16)  # n < 2p
+
+
+def test_uneven_blocks_multi():
+    B, A, C, F = dominant_systems(3, 27, seed=13)
+    X, _ = pipelined_multi_tri_solve(B, A, C, F, 4)
+    np.testing.assert_allclose(X, reference(B, A, C, F), rtol=1e-8)

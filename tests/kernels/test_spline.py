@@ -1,0 +1,62 @@
+"""Tests for cubic spline fitting."""
+
+import numpy as np
+import pytest
+from scipy.interpolate import CubicSpline
+
+from repro.kernels.spline import cubic_spline_coeffs, spline_eval, spline_system
+from repro.util.errors import ValidationError
+
+
+def test_spline_interpolates_knots():
+    x = np.linspace(0, 1, 12)
+    y = np.sin(2 * np.pi * x)
+    M, _ = cubic_spline_coeffs(x, y)
+    np.testing.assert_allclose(spline_eval(x, y, M, x), y, atol=1e-10)
+
+
+def test_natural_boundary_conditions():
+    x = np.linspace(0, 2, 9)
+    y = x**3 - x
+    M, _ = cubic_spline_coeffs(x, y)
+    assert abs(M[0]) < 1e-12
+    assert abs(M[-1]) < 1e-12
+
+
+def test_matches_scipy_natural_spline():
+    x = np.linspace(0, 3, 15)
+    y = np.exp(-x) * np.cos(3 * x)
+    M, _ = cubic_spline_coeffs(x, y)
+    cs = CubicSpline(x, y, bc_type="natural")
+    xq = np.linspace(0, 3, 200)
+    np.testing.assert_allclose(spline_eval(x, y, M, xq), cs(xq), atol=1e-9)
+
+
+def test_parallel_solve_matches_serial():
+    x = np.linspace(0, 1, 64)
+    y = np.sin(4 * x) + 0.3 * x
+    M_serial, _ = cubic_spline_coeffs(x, y, p=1)
+    M_par, trace = cubic_spline_coeffs(x, y, p=4)
+    np.testing.assert_allclose(M_par, M_serial, rtol=1e-8, atol=1e-10)
+    assert trace is not None and trace.message_count() > 0
+
+
+def test_quadratic_reproduced_inside():
+    """A spline through smooth data approximates it well between knots."""
+    x = np.linspace(0, 1, 30)
+    y = np.sin(np.pi * x)
+    M, _ = cubic_spline_coeffs(x, y)
+    xq = np.linspace(0.1, 0.9, 50)
+    np.testing.assert_allclose(spline_eval(x, y, M, xq), np.sin(np.pi * xq), atol=1e-4)
+
+
+def test_validation_errors():
+    with pytest.raises(ValidationError):
+        spline_system([0.0, 1.0], [1.0, 2.0])  # too few knots
+    with pytest.raises(ValidationError):
+        spline_system([0.0, 1.0, 0.5], [1.0, 2.0, 3.0])  # not increasing
+    x = np.linspace(0, 1, 5)
+    y = x.copy()
+    M, _ = cubic_spline_coeffs(x, y)
+    with pytest.raises(ValidationError):
+        spline_eval(x, y, M, np.array([1.5]))  # out of range

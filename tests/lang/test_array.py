@@ -1,0 +1,126 @@
+"""Unit tests for distributed arrays and sections."""
+
+import numpy as np
+import pytest
+
+from repro.lang import DistArray, ProcessorGrid
+from repro.util.errors import ValidationError
+
+
+def test_block_block_local_shapes():
+    g = ProcessorGrid((2, 2))
+    X = DistArray((8, 8), g, dist=("block", "block"))
+    for rank in g.linear:
+        assert X.local(rank).shape == (4, 4)
+
+
+def test_star_block_local_shapes():
+    g = ProcessorGrid((3,))
+    X = DistArray((5, 9), g, dist=("*", "block"))
+    assert X.local(0).shape == (5, 3)
+
+
+def test_replicated_default():
+    g = ProcessorGrid((2, 2))
+    s = DistArray((3,), g)  # no dist clause: replicated (paper rule)
+    assert s.replicated
+    for rank in g.linear:
+        assert s.local(rank).shape == (3,)
+
+
+def test_global_roundtrip_block():
+    g = ProcessorGrid((2, 2))
+    X = DistArray((6, 6), g, dist=("block", "block"))
+    ref = np.arange(36, dtype=float).reshape(6, 6)
+    X.from_global(ref)
+    np.testing.assert_array_equal(X.to_global(), ref)
+
+
+def test_global_roundtrip_cyclic():
+    g = ProcessorGrid((3,))
+    X = DistArray((10,), g, dist=("cyclic",))
+    ref = np.arange(10.0)
+    X.from_global(ref)
+    np.testing.assert_array_equal(X.to_global(), ref)
+    np.testing.assert_array_equal(X.local(1), [1.0, 4.0, 7.0])
+
+
+def test_owner_rank_matches_layout():
+    g = ProcessorGrid((2, 2))
+    X = DistArray((8, 8), g, dist=("block", "block"))
+    assert X.owner_rank((0, 0)) == 0
+    assert X.owner_rank((7, 7)) == 3
+    assert X.owner_rank((0, 7)) == 1
+
+
+def test_get_set_global():
+    g = ProcessorGrid((2,))
+    X = DistArray((8,), g, dist=("block",))
+    X.set_global((5,), 3.5)
+    assert X.get_global((5,)) == 3.5
+    assert X.local(1)[1] == 3.5
+
+
+def test_set_global_replicated_writes_all_copies():
+    g = ProcessorGrid((2,))
+    s = DistArray((4,), g)
+    s.set_global((2,), 9.0)
+    assert s.local(0)[2] == 9.0
+    assert s.local(1)[2] == 9.0
+
+
+def test_section_fixes_distributed_dim():
+    g = ProcessorGrid((2, 2))
+    u = DistArray((4, 8, 8), g, dist=("*", "block", "block"), name="u")
+    plane = u[:, :, 5]
+    assert plane.shape == (4, 8)
+    # dim2 owner of 5 is grid column 1 -> plane lives on procs[:, 1]
+    assert plane.grid.linear == [1, 3]
+    assert plane.local(1).shape == (4, 4)
+
+
+def test_section_views_share_memory():
+    g = ProcessorGrid((2,))
+    u = DistArray((4, 8), g, dist=("*", "block"), name="u")
+    col = u[:, 2]
+    col.local(0)[1] = 7.0
+    assert u.local(0)[1, 2] == 7.0
+
+
+def test_section_global_roundtrip():
+    g = ProcessorGrid((2, 2))
+    u = DistArray((3, 4, 4), g, dist=("*", "block", "block"))
+    ref = np.arange(48, dtype=float).reshape(3, 4, 4)
+    u.from_global(ref)
+    plane = u[:, :, 1]
+    np.testing.assert_array_equal(plane.to_global(), ref[:, :, 1])
+
+
+def test_section_row_of_2d():
+    g = ProcessorGrid((2, 2))
+    r = DistArray((8, 8), g, dist=("block", "block"), name="r")
+    row = r[3, :]
+    assert row.shape == (8,)
+    assert row.grid.linear == [0, 1]  # row 3 owned by grid row 0
+    assert row.local(0).shape == (4,)
+
+
+def test_section_rejects_partial_slices():
+    g = ProcessorGrid((2,))
+    X = DistArray((8, 8), g, dist=("*", "block"))
+    with pytest.raises(ValidationError):
+        X[0:4, :]
+
+
+def test_section_out_of_bounds():
+    g = ProcessorGrid((2,))
+    X = DistArray((8, 8), g, dist=("*", "block"))
+    with pytest.raises(ValidationError):
+        X[:, 8]
+
+
+def test_nonowner_local_raises():
+    g = ProcessorGrid((2, 2))
+    X = DistArray((8, 8), g, dist=("block", "block"))
+    with pytest.raises(ValidationError):
+        X.local(99)

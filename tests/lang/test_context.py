@@ -1,0 +1,94 @@
+"""Tests for the SPMD context: tags, collectives, run_spmd."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.lang import KaliCtx, ProcessorGrid, run_spmd
+from repro.machine import Compute, Machine
+from repro.util.errors import ValidationError
+
+
+def test_ctx_requires_membership():
+    g = ProcessorGrid((2,))
+    with pytest.raises(ValidationError):
+        KaliCtx(5, g)
+
+
+def test_tags_deterministic_per_grid():
+    g = ProcessorGrid((2, 2))
+    c0 = KaliCtx(0, g)
+    c3 = KaliCtx(3, g)
+    assert c0.next_tag(g) == c3.next_tag(g)
+    assert c0.next_tag(g) == c3.next_tag(g)
+    # different grids have independent counters
+    col = g[:, 0]
+    t_col = c0.next_tag(col)
+    t_full = c0.next_tag(g)
+    assert t_col != t_full
+
+
+def test_ctx_allreduce():
+    m = Machine(n_procs=4)
+    g = ProcessorGrid((4,))
+    results = {}
+
+    def prog(ctx):
+        total = yield from ctx.allreduce(g, ctx.rank + 1)
+        results[ctx.rank] = total
+
+    run_spmd(m, g, prog)
+    assert all(v == 10 for v in results.values())
+
+
+def test_ctx_allreduce_max_on_subgrid():
+    m = Machine(n_procs=4)
+    g = ProcessorGrid((2, 2))
+    col = g[:, 1]
+    results = {}
+
+    def prog(ctx):
+        if col.contains(ctx.rank):
+            v = yield from ctx.allreduce(col, float(ctx.rank), op=max)
+            results[ctx.rank] = v
+        else:
+            yield Compute(seconds=0.0)
+
+    run_spmd(m, g, prog)
+    assert results == {1: 3.0, 3: 3.0}
+
+
+def test_ctx_bcast_and_gather():
+    m = Machine(n_procs=3)
+    g = ProcessorGrid((3,))
+    results = {}
+
+    def prog(ctx):
+        v = yield from ctx.bcast(g, "seed" if ctx.rank == 1 else None, root=1)
+        items = yield from ctx.gather(g, ctx.rank * 2, root=0)
+        results[ctx.rank] = (v, items)
+
+    run_spmd(m, g, prog)
+    assert all(v == "seed" for v, _ in results.values())
+    assert results[0][1] == [0, 2, 4]
+    assert results[1][1] is None
+
+
+def test_run_spmd_grid_too_big():
+    m = Machine(n_procs=2)
+    g = ProcessorGrid((4,))
+    with pytest.raises(ValidationError):
+        run_spmd(m, g, lambda ctx: iter(()))
+
+
+def test_run_spmd_returns_trace():
+    m = Machine(n_procs=2)
+    g = ProcessorGrid((2,))
+
+    def prog(ctx):
+        yield Compute(seconds=2.0)
+
+    trace = m and run_spmd(m, g, prog)
+    assert trace.makespan() == 2.0
+    assert trace.busy_time(0) == 2.0

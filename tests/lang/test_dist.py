@@ -1,0 +1,157 @@
+"""Unit and property tests for distribution primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.dist import (
+    Block,
+    BlockCyclic,
+    BoundBlock,
+    BoundCyclic,
+    Cyclic,
+    Distribution,
+    Star,
+)
+from repro.util.errors import DistributionError
+
+
+def test_block_bounds_even_split_matches_paper():
+    # paper: l_i = (i-1)n/p + 1 .. u_i = i n/p (1-indexed inclusive)
+    b = Block().bind(12, 4)
+    assert [b.owned_range(c) for c in range(4)] == [(0, 3), (3, 6), (6, 9), (9, 12)]
+
+
+def test_block_uneven_front_loads_remainder():
+    b = Block().bind(10, 4)
+    sizes = [b.local_size(c) for c in range(4)]
+    assert sizes == [3, 3, 2, 2]
+    assert sum(sizes) == 10
+
+
+def test_block_owner_and_local_index_vectorized():
+    b = Block().bind(10, 4)
+    idx = np.arange(10)
+    owners = b.owner(idx)
+    for i in range(10):
+        lo, hi = b.owned_range(int(owners[i]))
+        assert lo <= i < hi
+    loc = b.local_index(idx)
+    assert loc.max() < max(b.local_size(c) for c in range(4))
+
+
+def test_cyclic_round_robin():
+    c = Cyclic().bind(10, 3)
+    assert list(c.owner(np.arange(6))) == [0, 1, 2, 0, 1, 2]
+    assert list(c.local_index(np.array([0, 3, 6, 9]))) == [0, 1, 2, 3]
+    assert [c.local_size(k) for k in range(3)] == [4, 3, 3]
+
+
+def test_cyclic_owned_indices():
+    c = Cyclic().bind(7, 3)
+    np.testing.assert_array_equal(c.owned_indices(1), [1, 4])
+
+
+def test_cyclic_has_no_contiguous_range():
+    c = Cyclic().bind(10, 3)
+    with pytest.raises(DistributionError):
+        c.owned_range(0)
+
+
+def test_blockcyclic_generalizes():
+    bc = BlockCyclic(2).bind(8, 2)
+    np.testing.assert_array_equal(bc.owner(np.arange(8)), [0, 0, 1, 1, 0, 0, 1, 1])
+    np.testing.assert_array_equal(bc.owned_indices(0), [0, 1, 4, 5])
+    assert bc.local_size(0) == 4
+    np.testing.assert_array_equal(bc.local_index(np.array([0, 1, 4, 5])), [0, 1, 2, 3])
+
+
+def test_star_owns_everything():
+    s = Star().bind(5, 1)
+    assert s.local_size() == 5
+    assert s.owned_range() == (0, 5)
+    np.testing.assert_array_equal(s.local_index(np.arange(5)), np.arange(5))
+
+
+def test_distribution_dim_count_rule():
+    # paper: number of distributed dims must equal grid ndim
+    Distribution(("block", "block"), (4, 4), (2, 2))
+    Distribution(("*", "block", "block"), (4, 4, 4), (2, 2))
+    with pytest.raises(DistributionError):
+        Distribution(("block",), (4,), (2, 2))
+    with pytest.raises(DistributionError):
+        Distribution(("block", "block", "block"), (4, 4, 4), (2, 2))
+
+
+def test_distribution_replicated_when_all_star():
+    d = Distribution(("*", "*"), (3, 3), (2, 2))
+    assert d.replicated
+    assert d.local_shape((0, 0)) == (3, 3)
+    assert d.local_shape((1, 1)) == (3, 3)
+
+
+def test_distribution_owner_coords():
+    d = Distribution(("*", "block", "cyclic"), (2, 8, 6), (2, 3))
+    assert d.owner_coords((0, 0, 0)) == (0, 0)
+    assert d.owner_coords((1, 7, 4)) == (1, 1)
+
+
+def test_distribution_unknown_name():
+    with pytest.raises(DistributionError):
+        Distribution(("diagonal",), (4,), (2,))
+
+
+# ----------------------------------------------------------------------
+# Property-based: distributions partition indices exactly
+# ----------------------------------------------------------------------
+
+dist_strategy = st.sampled_from(["block", "cyclic", "bc2", "bc3"])
+
+
+def make_bound(name, n, p):
+    if name == "block":
+        return Block().bind(n, p)
+    if name == "cyclic":
+        return Cyclic().bind(n, p)
+    if name == "bc2":
+        return BlockCyclic(2).bind(n, p)
+    return BlockCyclic(3).bind(n, p)
+
+
+@settings(max_examples=60)
+@given(
+    n=st.integers(min_value=0, max_value=200),
+    p=st.integers(min_value=1, max_value=17),
+    name=dist_strategy,
+)
+def test_partition_property(n, p, name):
+    """owned_indices over all coords partitions range(n) exactly."""
+    bd = make_bound(name, n, p)
+    seen = np.concatenate([bd.owned_indices(c) for c in range(p)]) if p else []
+    assert sorted(seen) == list(range(n))
+    # and owner() agrees with owned_indices
+    for c in range(p):
+        idx = bd.owned_indices(c)
+        if idx.size:
+            assert np.all(bd.owner(idx) == c)
+    # local sizes sum to n
+    assert sum(bd.local_size(c) for c in range(p)) == n
+
+
+@settings(max_examples=60)
+@given(
+    n=st.integers(min_value=1, max_value=200),
+    p=st.integers(min_value=1, max_value=17),
+    name=dist_strategy,
+)
+def test_local_index_injective_per_owner(n, p, name):
+    """global -> (owner, local) is a bijection onto local storage."""
+    bd = make_bound(name, n, p)
+    for c in range(p):
+        idx = bd.owned_indices(c)
+        loc = np.asarray(bd.local_index(idx))
+        assert len(np.unique(loc)) == idx.size
+        if idx.size:
+            assert loc.min() >= 0
+            assert loc.max() < bd.local_size(c)

@@ -1,0 +1,103 @@
+"""Validation paths of the doall IR and on-clauses."""
+
+import pytest
+
+from repro.lang import (
+    Assign,
+    Const,
+    DistArray,
+    Doall,
+    OnProc,
+    Owner,
+    ProcessorGrid,
+    loopvars,
+)
+from repro.util.errors import CompileError, ValidationError
+
+
+def setup():
+    g = ProcessorGrid((2, 2))
+    X = DistArray((8, 8), g, dist=("block", "block"), name="X")
+    i, j = loopvars("i j")
+    return g, X, i, j
+
+
+def test_duplicate_loop_vars_rejected():
+    g, X, i, j = setup()
+    i2 = loopvars("i")[0]
+    with pytest.raises(ValidationError):
+        Doall((i, i2), [(0, 3), (0, 3)], Owner(X, (i, i2)),
+              [Assign(X[i, i2], Const(1.0))], g)
+
+
+def test_range_arity_mismatch():
+    g, X, i, j = setup()
+    with pytest.raises(ValidationError):
+        Doall((i, j), [(0, 3)], Owner(X, (i, j)), [Assign(X[i, j], Const(1.0))], g)
+
+
+def test_bad_range_tuple():
+    g, X, i, j = setup()
+    with pytest.raises(ValidationError):
+        Doall((i,), [(0,)], Owner(X, (i, 0)), [Assign(X[i, 0], Const(1.0))], g)
+    with pytest.raises(ValidationError):
+        Doall((i,), [(0, 3, 0)], Owner(X, (i, 0)), [Assign(X[i, 0], Const(1.0))], g)
+
+
+def test_empty_body_rejected():
+    g, X, i, j = setup()
+    with pytest.raises(ValidationError):
+        Doall((i, j), [(0, 3), (0, 3)], Owner(X, (i, j)), [], g)
+
+
+def test_non_assign_body_rejected():
+    g, X, i, j = setup()
+    with pytest.raises(ValidationError):
+        Doall((i, j), [(0, 3), (0, 3)], Owner(X, (i, j)), ["X[i,j]=1"], g)
+
+
+def test_on_clause_must_be_clause():
+    g, X, i, j = setup()
+    with pytest.raises(ValidationError):
+        Doall((i, j), [(0, 3), (0, 3)], "owner", [Assign(X[i, j], Const(1.0))], g)
+
+
+def test_owner_arity_checked():
+    g, X, i, j = setup()
+    with pytest.raises(CompileError):
+        Owner(X, (i,))
+
+
+def test_onproc_arity_checked():
+    g, X, i, j = setup()
+    (ip,) = loopvars("ip")
+    with pytest.raises(CompileError):
+        OnProc(g, (ip,))
+
+
+def test_array_outside_grid_rejected():
+    g, X, i, j = setup()
+    col = g[:, 0]
+    with pytest.raises(CompileError):
+        # loop grid is the column but X lives on the full grid
+        Doall((i, j), [(0, 7), (0, 7)], Owner(X, (i, j)),
+              [Assign(X[i, j], Const(1.0))], col)
+
+
+def test_key_stability_and_distinction():
+    g, X, i, j = setup()
+    body = [Assign(X[i, j], X[i, j] + 1.0)]
+    l1 = Doall((i, j), [(0, 3), (0, 3)], Owner(X, (i, j)), body, g)
+    l2 = Doall((i, j), [(0, 3), (0, 3)], Owner(X, (i, j)), body, g)
+    l3 = Doall((i, j), [(0, 4), (0, 3)], Owner(X, (i, j)), body, g)
+    assert l1.key() == l2.key()
+    assert l1.key() != l3.key()
+
+
+def test_arrays_enumerates_reads_and_writes():
+    g, X, i, j = setup()
+    Y = DistArray((8, 8), g, dist=("block", "block"), name="Y")
+    loop = Doall((i, j), [(0, 7), (0, 7)], Owner(X, (i, j)),
+                 [Assign(Y[i, j], X[i, j])], g)
+    names = sorted(a.name for a in loop.arrays())
+    assert names == ["X", "Y"]

@@ -1,0 +1,110 @@
+"""Unit tests for affine index and value expressions."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.lang import DistArray, ProcessorGrid, loopvars
+from repro.lang.expr import AffineExpr, Assign, BinOp, Const, Ref
+from repro.util.errors import CompileError
+
+
+def test_loopvar_arithmetic_builds_affine():
+    (i,) = loopvars("i")
+    e = 2 * i + 3
+    assert isinstance(e, AffineExpr)
+    np.testing.assert_array_equal(e.evaluate({"i": np.arange(4)}), [3, 5, 7, 9])
+
+
+def test_affine_subtraction_and_negation():
+    i, j = loopvars("i j")
+    e = i - j - 1
+    env = {"i": np.array([5]), "j": np.array([2])}
+    assert e.evaluate(env)[0] == 2
+    e2 = -i + 10
+    assert e2.evaluate({"i": np.array([4])})[0] == 6
+
+
+def test_affine_rational_exact_division():
+    (k,) = loopvars("k")
+    e = k / 2
+    np.testing.assert_array_equal(e.evaluate({"k": np.array([0, 2, 4])}), [0, 1, 2])
+    e2 = (k + 1) / 2
+    np.testing.assert_array_equal(e2.evaluate({"k": np.array([1, 3])}), [1, 2])
+
+
+def test_affine_inexact_division_raises():
+    (k,) = loopvars("k")
+    e = k / 2
+    with pytest.raises(CompileError):
+        e.evaluate({"k": np.array([1])})
+
+
+def test_affine_broadcasting_shapes():
+    i, j = loopvars("i j")
+    e = i + j
+    env = {"i": np.arange(3).reshape(3, 1), "j": np.arange(4).reshape(1, 4)}
+    out = e.evaluate(env)
+    assert out.shape == (3, 4)
+    assert out[2, 3] == 5
+
+
+def test_affine_disallows_var_products():
+    i, j = loopvars("i j")
+    with pytest.raises(CompileError):
+        _ = AffineExpr.of(i) * AffineExpr.of(j)
+
+
+def test_affine_key_is_stable():
+    (i,) = loopvars("i")
+    assert (2 * i + 1).key() == (2 * i + 1).key()
+    assert (2 * i + 1).key() != (2 * i).key()
+
+
+def grid_and_array():
+    g = ProcessorGrid((2,))
+    X = DistArray((8,), g, dist=("block",), name="X")
+    return g, X
+
+
+def test_ref_built_by_subscription():
+    _, X = grid_and_array()
+    (i,) = loopvars("i")
+    r = X[i + 1]
+    assert isinstance(r, Ref)
+    assert r.array is X
+    assert r.vars() == {i}
+
+
+def test_ref_wrong_arity():
+    _, X = grid_and_array()
+    i, j = loopvars("i j")
+    with pytest.raises(Exception):
+        Ref(X, (i, j))
+
+
+def test_value_expr_flop_count():
+    _, X = grid_and_array()
+    (i,) = loopvars("i")
+    e = 0.25 * (X[i + 1] + X[i - 1]) - X[i]
+    # three binary ops: +, *, -
+    assert e.flops() == 3
+
+
+def test_const_coercion_and_keys():
+    _, X = grid_and_array()
+    (i,) = loopvars("i")
+    e = X[i] + 1
+    assert isinstance(e, BinOp)
+    assert isinstance(e.right, Const)
+    assert e.key() == (X[i] + 1).key()
+
+
+def test_assign_requires_ref_lhs():
+    _, X = grid_and_array()
+    (i,) = loopvars("i")
+    a = Assign(X[i], X[i] + 1.0)
+    assert a.lhs.array is X
+    with pytest.raises(CompileError):
+        Assign(Const(1.0), X[i])  # type: ignore[arg-type]

@@ -1,0 +1,80 @@
+"""Unit tests for processor grids and slicing."""
+
+import numpy as np
+import pytest
+
+from repro.lang import ProcessorGrid
+from repro.util.errors import ValidationError
+
+
+def test_grid_basic_layout():
+    g = ProcessorGrid((2, 3))
+    assert g.size == 6
+    assert g.shape == (2, 3)
+    assert g.linear == [0, 1, 2, 3, 4, 5]
+    assert g.rank_at((1, 2)) == 5
+    assert g.coords_of(4) == (1, 1)
+
+
+def test_grid_1d_from_int():
+    g = ProcessorGrid(4)
+    assert g.shape == (4,)
+    assert g.rank_at((3,)) == 3
+
+
+def test_slice_column_drops_dim():
+    g = ProcessorGrid((2, 3))
+    col = g[:, 1]
+    assert col.shape == (2,)
+    assert col.linear == [1, 4]
+
+
+def test_slice_row():
+    g = ProcessorGrid((2, 3))
+    row = g[0]
+    assert row.shape == (3,)
+    assert row.linear == [0, 1, 2]
+
+
+def test_single_processor_slice_is_1d_grid():
+    g = ProcessorGrid((2, 2))
+    one = g[1, 1]
+    assert one.shape == (1,)
+    assert one.linear == [3]
+
+
+def test_contains_and_subset():
+    g = ProcessorGrid((2, 2))
+    col = g[:, 0]
+    assert col.contains(2)
+    assert not col.contains(1)
+    assert col.is_subset_of(g)
+    assert not g.is_subset_of(col)
+
+
+def test_key_and_equality():
+    g1 = ProcessorGrid((2, 2))
+    g2 = ProcessorGrid((2, 2))
+    assert g1 == g2
+    assert g1.key() == g2.key()
+    assert hash(g1) == hash(g2)
+    assert g1[:, 0] != g1[:, 1]
+
+
+def test_coords_of_missing_rank_raises():
+    g = ProcessorGrid((2, 2))
+    with pytest.raises(ValidationError):
+        g.coords_of(9)
+
+
+def test_bad_shapes_rejected():
+    with pytest.raises(ValidationError):
+        ProcessorGrid((0, 2))
+    with pytest.raises(ValidationError):
+        ProcessorGrid((2,), ranks=np.array([1, 1]))
+
+
+def test_explicit_ranks_roundtrip():
+    g = ProcessorGrid((2,), ranks=np.array([5, 3]))
+    assert g.rank_at((0,)) == 5
+    assert g.coords_of(3) == (1,)

@@ -1,0 +1,70 @@
+"""Unit tests for the alpha-beta-hop cost model."""
+
+import pytest
+
+from repro.machine import CostModel
+from repro.util.errors import ValidationError
+
+
+def test_message_time_components():
+    cm = CostModel(alpha=1.0, beta=0.5, gamma_hop=0.25, flop_time=0.0)
+    assert cm.message_time(0, 0) == 1.0
+    assert cm.message_time(4, 0) == 1.0 + 2.0
+    assert cm.message_time(4, 2) == 1.0 + 2.0 + 0.5
+
+
+def test_message_time_words_uses_word_size():
+    cm = CostModel(alpha=0.0, beta=1.0, gamma_hop=0.0, word_bytes=8)
+    assert cm.message_time_words(3, 0) == 24.0
+
+
+def test_compute_time():
+    cm = CostModel(flop_time=2.0)
+    assert cm.compute_time(5) == 10.0
+    assert cm.compute_time(0) == 0.0
+
+
+def test_negative_inputs_rejected():
+    cm = CostModel()
+    with pytest.raises(ValidationError):
+        cm.message_time(-1)
+    with pytest.raises(ValidationError):
+        cm.message_time(1, -1)
+    with pytest.raises(ValidationError):
+        cm.compute_time(-1)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValidationError):
+        CostModel(alpha=-1.0)
+    with pytest.raises(ValidationError):
+        CostModel(word_bytes=0)
+
+
+def test_scaled_returns_modified_copy():
+    cm = CostModel.balanced()
+    cm2 = cm.scaled(alpha=0.0)
+    assert cm2.alpha == 0.0
+    assert cm.alpha != 0.0
+    assert cm2.beta == cm.beta
+
+
+@pytest.mark.parametrize(
+    "preset",
+    [CostModel.hypercube_1989, CostModel.balanced, CostModel.fast_network, CostModel.zero_comm],
+)
+def test_presets_construct(preset):
+    cm = preset()
+    assert cm.message_time(100, 2) >= 0.0
+
+
+def test_hypercube_preset_is_latency_dominated():
+    cm = CostModel.hypercube_1989()
+    # one word costs mostly latency
+    assert cm.alpha > 10 * cm.beta * cm.word_bytes
+
+
+def test_zero_comm_preset_free_messages():
+    cm = CostModel.zero_comm()
+    assert cm.message_time(10**6, 10) == 0.0
+    assert cm.compute_time(10) > 0.0

@@ -1,0 +1,264 @@
+"""Unit tests for the event-driven simulator."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    ANY,
+    Barrier,
+    Compute,
+    CostModel,
+    Machine,
+    Mark,
+    Now,
+    Recv,
+    Ring,
+    Send,
+)
+from repro.util.errors import DeadlockError, MachineError
+
+
+def simple_machine(n=2, **cost_kwargs):
+    cost = CostModel(
+        alpha=1.0,
+        beta=0.0,
+        gamma_hop=0.0,
+        flop_time=1.0,
+        send_overhead=0.0,
+        **cost_kwargs,
+    )
+    return Machine(n_procs=n, cost=cost)
+
+
+def test_single_proc_compute_advances_clock():
+    m = simple_machine(1)
+
+    def prog():
+        yield Compute(flops=5)
+        t = yield Now()
+        assert t == 5.0
+
+    trace = m.run({0: prog()})
+    assert trace.makespan() == 5.0
+    assert trace.busy_time(0) == 5.0
+
+
+def test_ping_message_value_and_timing():
+    m = simple_machine(2)
+    got = {}
+
+    def sender():
+        yield Send(1, 42, tag="x")
+
+    def receiver():
+        got["v"] = yield Recv(src=0, tag="x")
+
+    trace = m.run({0: sender(), 1: receiver()})
+    assert got["v"] == 42
+    assert trace.message_count() == 1
+    # alpha=1, receiver idle at t=0, so arrival/receive at t=1
+    assert trace.messages[0].t_arrive == 1.0
+    assert trace.messages[0].t_recv == 1.0
+
+
+def test_numpy_payload_is_snapshotted():
+    m = simple_machine(2)
+    arr = np.arange(4.0)
+    got = {}
+
+    def sender():
+        yield Send(1, arr, tag=0)
+        arr[:] = -1.0  # mutation after send must not be visible
+
+    def receiver():
+        got["v"] = yield Recv(src=0, tag=0)
+
+    m.run({0: sender(), 1: receiver()})
+    np.testing.assert_array_equal(got["v"], [0.0, 1.0, 2.0, 3.0])
+
+
+def test_recv_wildcards():
+    m = simple_machine(3)
+    got = []
+
+    def sender(rank, dst):
+        def prog():
+            yield Compute(seconds=float(rank))  # stagger send times
+            yield Send(dst, rank, tag=rank)
+
+        return prog()
+
+    def receiver():
+        a = yield Recv(src=ANY, tag=ANY)
+        b = yield Recv(src=ANY, tag=ANY)
+        got.extend([a, b])
+
+    m.run({0: receiver(), 1: sender(1, 0), 2: sender(2, 0)})
+    assert got == [1, 2]  # earliest arrival matched first
+
+
+def test_fifo_per_channel():
+    m = simple_machine(2)
+    got = []
+
+    def sender():
+        yield Send(1, "first", tag="t")
+        yield Send(1, "second", tag="t")
+
+    def receiver():
+        got.append((yield Recv(src=0, tag="t")))
+        got.append((yield Recv(src=0, tag="t")))
+
+    m.run({0: sender(), 1: receiver()})
+    assert got == ["first", "second"]
+
+
+def test_message_cost_uses_hops():
+    cost = CostModel(alpha=1.0, beta=0.0, gamma_hop=10.0, flop_time=0.0, send_overhead=0.0)
+    m = Machine(topology=Ring(4), cost=cost)
+
+    def sender():
+        yield Send(2, None, tag=0)  # 2 hops on a 4-ring
+
+    def receiver():
+        yield Recv(src=0, tag=0)
+
+    def idle():
+        return
+        yield  # pragma: no cover
+
+    trace = m.run({0: sender(), 2: receiver(), 1: idle(), 3: idle()})
+    assert trace.messages[0].t_arrive == 1.0 + 20.0
+    assert trace.messages[0].hops == 2
+
+
+def test_deadlock_detected_with_diagnosis():
+    m = simple_machine(2)
+
+    def p0():
+        yield Recv(src=1, tag="never")
+
+    def p1():
+        yield Recv(src=0, tag="never")
+
+    with pytest.raises(DeadlockError) as exc:
+        m.run({0: p0(), 1: p1()})
+    assert 0 in exc.value.blocked
+    assert 1 in exc.value.blocked
+
+
+def test_mismatched_tag_deadlocks():
+    m = simple_machine(2)
+
+    def p0():
+        yield Send(1, 1, tag="a")
+        yield Recv(src=1, tag="done")
+
+    def p1():
+        yield Recv(src=0, tag="b")  # wrong tag: never matches
+
+    with pytest.raises(DeadlockError):
+        m.run({0: p0(), 1: p1()})
+
+
+def test_barrier_aligns_clocks():
+    m = simple_machine(3)
+    times = {}
+
+    def prog(rank):
+        def p():
+            yield Compute(seconds=float(rank) * 3)
+            yield Barrier(group=(0, 1, 2), tag="b1")
+            times[rank] = yield Now()
+
+        return p()
+
+    m.run({r: prog(r) for r in range(3)})
+    assert times == {0: 6.0, 1: 6.0, 2: 6.0}
+
+
+def test_barrier_member_check():
+    m = simple_machine(2)
+
+    def p0():
+        yield Barrier(group=(1,), tag="b")
+
+    def p1():
+        yield Barrier(group=(1,), tag="b")
+
+    with pytest.raises(MachineError):
+        m.run({0: p0(), 1: p1()})
+
+
+def test_marks_recorded_with_time_and_payload():
+    m = simple_machine(1)
+
+    def prog():
+        yield Compute(seconds=2.0)
+        yield Mark("phase", payload=7)
+
+    trace = m.run({0: prog()})
+    marks = trace.marks_with("phase")
+    assert len(marks) == 1
+    assert marks[0].time == 2.0
+    assert marks[0].payload == 7
+
+
+def test_send_to_unprogrammed_rank_raises():
+    m = simple_machine(2)
+
+    def p0():
+        yield Send(1, 0, tag=0)
+
+    with pytest.raises(MachineError):
+        m.run({0: p0()})
+
+
+def test_unconsumed_message_raises():
+    m = simple_machine(2)
+
+    def p0():
+        yield Send(1, 0, tag=0)
+
+    def p1():
+        yield Compute(seconds=100.0)  # never receives
+
+    with pytest.raises(MachineError):
+        m.run({0: p0(), 1: p1()})
+
+
+def test_factory_interface():
+    m = simple_machine(4)
+
+    def make(rank):
+        def prog():
+            yield Compute(seconds=1.0 + rank)
+
+        return prog()
+
+    trace = m.run(make)
+    assert trace.makespan() == 4.0
+
+
+def test_determinism_same_trace_twice():
+    cost = CostModel(alpha=0.5, beta=0.01, gamma_hop=0.1, flop_time=1.0, send_overhead=0.2)
+
+    def build():
+        m = Machine(topology=Ring(4), cost=cost)
+
+        def prog(rank):
+            def p():
+                yield Compute(flops=rank + 1)
+                yield Send((rank + 1) % 4, np.full(3, rank, dtype=float), tag="c")
+                v = yield Recv(src=(rank - 1) % 4, tag="c")
+                yield Compute(flops=float(v[0]) + 1)
+
+            return p()
+
+        return m.run(prog)
+
+    t1, t2 = build(), build()
+    assert t1.makespan() == t2.makespan()
+    assert [(msg.src, msg.dst) for msg in t1.messages] == [
+        (msg.src, msg.dst) for msg in t2.messages
+    ]

@@ -1,0 +1,179 @@
+"""Edge-case tests for the event simulator."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    ANY,
+    Barrier,
+    Compute,
+    CostModel,
+    Machine,
+    Now,
+    Recv,
+    Send,
+)
+from repro.machine.ops import payload_nbytes
+from repro.util.errors import DeadlockError, MachineError, ValidationError
+
+
+def fast():
+    return Machine(
+        n_procs=3,
+        cost=CostModel(alpha=1.0, beta=0.0, gamma_hop=0.0, flop_time=1.0, send_overhead=0.0),
+    )
+
+
+def test_any_src_specific_tag():
+    m = fast()
+    got = []
+
+    def sender(rank):
+        def p():
+            yield Compute(seconds=float(rank))
+            yield Send(0, rank, tag="wanted" if rank == 2 else "other")
+
+        return p()
+
+    def receiver():
+        got.append((yield Recv(src=ANY, tag="wanted")))
+        got.append((yield Recv(src=ANY, tag="other")))
+
+    m.run({0: receiver(), 1: sender(1), 2: sender(2)})
+    assert got == [2, 1]
+
+
+def test_specific_src_any_tag():
+    m = fast()
+    got = []
+
+    def sender():
+        yield Send(0, "a", tag="t1")
+        yield Send(0, "b", tag="t2")
+
+    def receiver():
+        got.append((yield Recv(src=1, tag=ANY)))
+        got.append((yield Recv(src=1, tag=ANY)))
+
+    def idle():
+        return
+        yield  # pragma: no cover
+
+    m.run({0: receiver(), 1: sender(), 2: idle()})
+    assert sorted(got) == ["a", "b"]
+
+
+def test_zero_cost_ops_make_progress():
+    cost = CostModel.zero_comm().scaled(flop_time=0.0)
+    m = Machine(n_procs=2, cost=cost)
+    got = {}
+
+    def p0():
+        for k in range(50):
+            yield Send(1, k, tag=k)
+        yield Compute(flops=100)
+
+    def p1():
+        vals = []
+        for k in range(50):
+            vals.append((yield Recv(src=0, tag=k)))
+        got["vals"] = vals
+
+    trace = m.run({0: p0(), 1: p1()})
+    assert got["vals"] == list(range(50))
+    assert trace.makespan() == 0.0
+
+
+def test_barrier_then_messages():
+    m = fast()
+    times = {}
+
+    def prog(rank):
+        def p():
+            yield Compute(seconds=float(rank))
+            yield Barrier(group=(0, 1, 2), tag="sync")
+            if rank == 0:
+                yield Send(1, "x", tag="post")
+            elif rank == 1:
+                yield Recv(src=0, tag="post")
+            times[rank] = yield Now()
+
+        return p()
+
+    m.run({r: prog(r) for r in range(3)})
+    assert times[2] == 2.0
+    assert times[1] == 3.0  # barrier release at 2.0 + 1.0 message latency
+
+
+def test_self_send_receive():
+    m = fast()
+    got = {}
+
+    def p0():
+        yield Send(0, 7, tag="self")
+        got["v"] = yield Recv(src=0, tag="self")
+
+    def idle():
+        return
+        yield  # pragma: no cover
+
+    m.run({0: p0(), 1: idle(), 2: idle()})
+    assert got["v"] == 7
+
+
+def test_three_way_deadlock_names_everyone():
+    m = fast()
+
+    def p(rank):
+        def gen():
+            yield Recv(src=(rank + 1) % 3, tag="ring")
+
+        return gen()
+
+    with pytest.raises(DeadlockError) as exc:
+        m.run({r: p(r) for r in range(3)})
+    assert set(exc.value.blocked) == {0, 1, 2}
+
+
+def test_payload_nbytes_estimates():
+    assert payload_nbytes(None) == 0
+    assert payload_nbytes(1.5) == 8
+    assert payload_nbytes(np.zeros(10)) == 80
+    assert payload_nbytes([1.0, 2.0]) == 24
+    assert payload_nbytes({"a": 1.0}) > 8
+    assert payload_nbytes((np.zeros(2), np.ones(3))) == 8 + 16 + 24
+
+
+def test_explicit_nbytes_override():
+    m = fast()
+
+    def p0():
+        yield Send(1, None, tag=0, nbytes=1000)
+
+    def p1():
+        yield Recv(src=0, tag=0)
+
+    def idle():
+        return
+        yield  # pragma: no cover
+
+    trace = m.run({0: p0(), 1: p1(), 2: idle()})
+    assert trace.messages[0].nbytes == 1000
+
+
+def test_machine_requires_size_or_topology():
+    with pytest.raises(MachineError):
+        Machine()
+    with pytest.raises(MachineError):
+        from repro.machine import Ring
+
+        Machine(n_procs=3, topology=Ring(4))
+
+
+def test_compute_validation():
+    with pytest.raises(ValidationError):
+        Compute()
+    with pytest.raises(ValidationError):
+        Compute(flops=1, seconds=1.0)
+    with pytest.raises(ValidationError):
+        Compute(flops=-1)

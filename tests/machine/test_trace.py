@@ -1,0 +1,78 @@
+"""Tests for trace analysis and rendering."""
+
+from repro.machine import Compute, Machine, Mark, Recv, Send
+from repro.machine.trace import ComputeRecord, Trace
+
+
+def test_utilization_and_busy():
+    t = Trace(n_procs=2)
+    t.computes.append(ComputeRecord(0, 0.0, 4.0))
+    t.computes.append(ComputeRecord(1, 0.0, 2.0))
+    t.finish_times = {0: 4.0, 1: 2.0}
+    assert t.makespan() == 4.0
+    assert t.busy_time(0) == 4.0
+    assert t.utilization(1) == 0.5
+    assert t.utilization() == (4.0 + 2.0) / (4.0 * 2)
+
+
+def test_empty_trace_is_safe():
+    t = Trace(n_procs=3)
+    assert t.makespan() == 0.0
+    assert t.utilization() == 0.0
+    assert t.message_count() == 0
+    assert "P0" in t.gantt()
+
+
+def test_gantt_render_marks_busy_regions():
+    t = Trace(n_procs=1)
+    t.computes.append(ComputeRecord(0, 0.0, 1.0))
+    t.finish_times = {0: 2.0}
+    g = t.gantt(width=20)
+    assert "#" in g
+    assert "makespan" in g
+
+
+def test_summary_keys():
+    m = Machine(n_procs=2)
+
+    def p0():
+        yield Compute(seconds=1.0)
+        yield Send(1, None, tag=0)
+
+    def p1():
+        yield Recv(src=0, tag=0)
+
+    trace = m.run({0: p0(), 1: p1()})
+    s = trace.summary()
+    assert set(s) == {"makespan", "utilization", "messages", "bytes", "busy_time"}
+    assert s["messages"] == 1.0
+
+
+def test_marks_prefixed_and_grouping():
+    m = Machine(n_procs=2)
+
+    def prog(rank):
+        def p():
+            yield Mark("phase/a", payload=1)
+            yield Mark("phase/b", payload=1)
+
+        return p()
+
+    trace = m.run({0: prog(0), 1: prog(1)})
+    assert len(trace.marks_prefixed("phase/")) == 4
+    grouped = trace.active_procs_by_payload("phase/a")
+    assert grouped == {1: [0, 1]}
+
+
+def test_comm_time_accumulates():
+    m = Machine(n_procs=2)
+
+    def p0():
+        yield Send(1, 3.0, tag=0)
+
+    def p1():
+        yield Recv(src=0, tag=0)
+
+    trace = m.run({0: p0(), 1: p1()})
+    assert trace.comm_time() > 0.0
+    assert trace.total_bytes() == 8

@@ -1,0 +1,89 @@
+"""Tests for rank translation of node programs onto grid slices."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Barrier, Compute, Machine, Recv, Send
+from repro.machine.translate import translate_ranks
+
+
+def test_sends_and_recvs_remapped():
+    m = Machine(n_procs=6)
+    group = [4, 1, 5]  # internal ranks 0,1,2 -> machine ranks 4,1,5
+    got = {}
+
+    def inner(internal_rank):
+        if internal_rank == 0:
+            yield Send(1, "hello", tag="t")
+            got["reply"] = yield Recv(src=2, tag="u")
+        elif internal_rank == 1:
+            v = yield Recv(src=0, tag="t")
+            yield Send(2, v + "!", tag="v")
+        else:
+            v = yield Recv(src=1, tag="v")
+            yield Send(0, v + "?", tag="u")
+
+    def idle():
+        return
+        yield  # pragma: no cover
+
+    programs = {group[r]: translate_ranks(inner(r), group) for r in range(3)}
+    for r in range(6):
+        programs.setdefault(r, idle())
+    trace = m.run(programs)
+    assert got["reply"] == "hello!?"
+    pairs = {(msg.src, msg.dst) for msg in trace.messages}
+    assert pairs == {(4, 1), (1, 5), (5, 4)}
+
+
+def test_barrier_group_translated():
+    m = Machine(n_procs=4)
+    group = [3, 0]
+
+    def inner(internal_rank):
+        yield Compute(seconds=float(internal_rank))
+        yield Barrier(group=(0, 1), tag="b")
+
+    def idle():
+        return
+        yield  # pragma: no cover
+
+    programs = {group[r]: translate_ranks(inner(r), group) for r in range(2)}
+    programs[1] = idle()
+    programs[2] = idle()
+    trace = m.run(programs)  # would raise if barrier groups mismatched
+    assert trace.makespan() == 1.0
+
+
+def test_return_value_forwarded():
+    m = Machine(n_procs=2)
+    out = {}
+
+    def inner():
+        yield Compute(seconds=1.0)
+        return 42
+
+    def outer():
+        value = yield from translate_ranks(inner(), [1])
+        out["v"] = value
+
+    def idle():
+        return
+        yield  # pragma: no cover
+
+    m.run({1: outer(), 0: idle()})
+    assert out["v"] == 42
+
+
+def test_identity_translation_is_transparent():
+    m = Machine(n_procs=2)
+    got = {}
+
+    def a():
+        yield Send(1, np.arange(3.0), tag=0)
+
+    def b():
+        got["v"] = yield Recv(src=0, tag=0)
+
+    m.run({0: translate_ranks(a(), [0, 1]), 1: translate_ranks(b(), [0, 1])})
+    np.testing.assert_array_equal(got["v"], [0.0, 1.0, 2.0])

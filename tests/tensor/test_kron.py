@@ -1,0 +1,81 @@
+"""Tests for Kronecker-product utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.kron import apply_along_axis, kron_matmat, kron_matvec, solve_along_axis
+from repro.util.errors import ValidationError
+
+
+def test_apply_along_axis_matches_matmul():
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((3, 4))
+    x = rng.standard_normal((4, 5))
+    np.testing.assert_allclose(apply_along_axis(A, x, 0), A @ x)
+    B = rng.standard_normal((6, 5))
+    np.testing.assert_allclose(apply_along_axis(B, x, 1), x @ B.T)
+
+
+def test_kron_matvec_matches_dense_2d():
+    rng = np.random.default_rng(1)
+    A = rng.standard_normal((3, 3))
+    B = rng.standard_normal((4, 4))
+    x = rng.standard_normal((3, 4))
+    dense = kron_matmat([A, B]) @ x.reshape(-1)
+    np.testing.assert_allclose(kron_matvec([A, B], x).reshape(-1), dense, rtol=1e-12)
+
+
+def test_kron_matvec_matches_dense_3d():
+    rng = np.random.default_rng(2)
+    mats = [rng.standard_normal((k, k)) for k in (2, 3, 4)]
+    x = rng.standard_normal((2, 3, 4))
+    dense = kron_matmat(mats) @ x.reshape(-1)
+    np.testing.assert_allclose(kron_matvec(mats, x).reshape(-1), dense, rtol=1e-12)
+
+
+def test_kron_rectangular():
+    rng = np.random.default_rng(3)
+    A = rng.standard_normal((5, 3))
+    B = rng.standard_normal((2, 4))
+    x = rng.standard_normal((3, 4))
+    out = kron_matvec([A, B], x)
+    assert out.shape == (5, 2)
+    dense = kron_matmat([A, B]) @ x.reshape(-1)
+    np.testing.assert_allclose(out.reshape(-1), dense, rtol=1e-12)
+
+
+def test_solve_along_axis_inverts_apply():
+    rng = np.random.default_rng(4)
+    A = rng.standard_normal((4, 4)) + 4 * np.eye(4)
+    x = rng.standard_normal((4, 6))
+    y = apply_along_axis(A, x, 0)
+    sol = solve_along_axis(lambda F: np.linalg.solve(A, F), y, 0)
+    np.testing.assert_allclose(sol, x, rtol=1e-10)
+
+
+def test_validation():
+    A = np.eye(3)
+    with pytest.raises(ValidationError):
+        apply_along_axis(A, np.ones((4, 4)), 0)
+    with pytest.raises(ValidationError):
+        apply_along_axis(A, np.ones((3, 3)), 2)
+    with pytest.raises(ValidationError):
+        kron_matvec([A], np.ones((3, 3)))
+
+
+@settings(max_examples=25)
+@given(
+    n1=st.integers(2, 5),
+    n2=st.integers(2, 5),
+    seed=st.integers(0, 2**31),
+)
+def test_property_kron_identity_factors(n1, n2, seed):
+    """(I (x) B) then (A (x) I) equals (A (x) B)."""
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n1, n1))
+    B = rng.standard_normal((n2, n2))
+    x = rng.standard_normal((n1, n2))
+    via_modes = apply_along_axis(A, apply_along_axis(B, x, 1), 0)
+    np.testing.assert_allclose(kron_matvec([A, B], x), via_modes, rtol=1e-10)

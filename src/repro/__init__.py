@@ -66,7 +66,16 @@ from repro.lang import (
     loopvars,
     run_spmd,
 )
-from repro.compiler import estimate_doall, inspector_gather
+from repro.compiler import (
+    GatherSchedule,
+    ScheduleCache,
+    build_gather_schedule,
+    cached_inspector_gather,
+    clear_schedule_cache,
+    estimate_doall,
+    execute_gather,
+    inspector_gather,
+)
 from repro.util.errors import (
     CompileError,
     DeadlockError,
@@ -91,6 +100,8 @@ __all__ = [
     "KaliCtx", "run_spmd",
     # compiler
     "estimate_doall", "inspector_gather",
+    "GatherSchedule", "ScheduleCache", "build_gather_schedule",
+    "execute_gather", "cached_inspector_gather", "clear_schedule_cache",
     # errors
     "ReproError", "MachineError", "DeadlockError",
     "DistributionError", "CompileError", "ValidationError",

@@ -8,24 +8,63 @@ transformations the paper attributes to the Kali compiler:
 * **access analysis** (:mod:`repro.compiler.access`): per-processor
   needed-element sets for every array reference;
 * **communication generation** (:mod:`repro.compiler.commgen`): matching
-  send/receive sets from the overlap of owned and needed data;
+  send/receive sets from the overlap of owned and needed data, frozen
+  into per-rank communication schedules (precomputed gather/scatter
+  position arrays) at analysis time;
 * **scheduling** (:mod:`repro.compiler.schedule`): the per-processor node
-  program implementing copy-in/copy-out semantics;
+  program implementing copy-in/copy-out semantics.  Analyses are cached
+  by structural loop key, so a loop re-executed every sweep replays its
+  frozen schedule instead of re-deriving communication sets -- the
+  replay/compile events appear in traces as ``commsched/hit`` and
+  ``commsched/build`` marks;
 * **performance estimation** (:mod:`repro.compiler.estimate`): the static
   per-loop communication/compute predictor the paper proposes as the
   companion tool;
 * **dynamic inspection** (:mod:`repro.compiler.inspector`): the runtime
-  gather fallback for irregular references (paper's reference [17]).
+  two-round gather fallback for irregular references (paper's reference
+  [17], the Crowley/Saltz inspector/executor scheme).
+
+The inspector -> schedule -> executor pipeline for irregular references
+lives in :mod:`repro.compiler.commsched`: a one-time inspection builds a
+first-class :class:`~repro.compiler.commsched.GatherSchedule` (who needs
+what from whom, with precomputed permutation arrays), and the vectorized
+executor replays it with a single round of coalesced per-owner messages.
+Caching applies whenever the index pattern and the array layout are both
+unchanged: schedules are keyed on the array's ``uid``/``comm_epoch`` and
+an index-pattern fingerprint, and redistribution bumps the epoch so every
+stale schedule (and cached doall plan) is rebuilt on next use.
 """
 
-from repro.compiler.schedule import execute_doall, clear_plan_cache
+from repro.compiler.schedule import execute_doall, clear_plan_cache, drop_plan
 from repro.compiler.estimate import estimate_doall, LoopEstimate
 from repro.compiler.inspector import inspector_gather
+from repro.compiler.commsched import (
+    DEFAULT_CACHE,
+    GatherSchedule,
+    ScheduleCache,
+    build_gather_schedule,
+    cached_inspector_gather,
+    clear_schedule_cache,
+    execute_gather,
+    index_fingerprint,
+    schedule_key,
+)
 
 __all__ = [
     "execute_doall",
     "clear_plan_cache",
+    "drop_plan",
     "estimate_doall",
     "LoopEstimate",
     "inspector_gather",
+    # inspector -> schedule -> executor pipeline
+    "GatherSchedule",
+    "ScheduleCache",
+    "DEFAULT_CACHE",
+    "build_gather_schedule",
+    "execute_gather",
+    "cached_inspector_gather",
+    "clear_schedule_cache",
+    "index_fingerprint",
+    "schedule_key",
 ]

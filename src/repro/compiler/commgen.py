@@ -11,6 +11,13 @@ from the loop alone (no execution) it derives, for every rank,
 Everything is deterministic and derivable by every rank independently,
 which is why the generated sends and receives match without any runtime
 negotiation -- the property the paper relies on for affine loops.
+
+The analysis result is *frozen* into per-rank communication schedules
+(:meth:`ReadPlan.freeze`): open-mesh local coordinates for every
+outgoing coalesced ghost message and scatter positions for every
+incoming one.  The executor in :mod:`repro.compiler.schedule` replays
+these precomputed arrays on every sweep, so repeated doall executions
+(the common case) pay for communication-set derivation exactly once.
 """
 
 from __future__ import annotations
@@ -24,9 +31,29 @@ from repro.lang.doall import Doall
 
 
 class ReadPlan:
-    """Gather plan for one array on one rank."""
+    """Gather plan (and compiled communication schedule) for one array
+    on one rank.
 
-    __slots__ = ("array", "needed", "recv_from", "send_to", "own_overlap")
+    The ``recv_from``/``send_to``/``own_overlap`` global index lists are
+    the analysis result; the ``*_locs``/``*_pos`` fields are the frozen
+    executor schedule derived from them once at compile time: open-mesh
+    local-block coordinates for every outgoing coalesced message and
+    workspace scatter positions for every incoming one, so re-executing
+    the loop every sweep replays precomputed permutation arrays instead
+    of re-deriving them.
+    """
+
+    __slots__ = (
+        "array",
+        "needed",
+        "recv_from",
+        "send_to",
+        "own_overlap",
+        "send_locs",
+        "own_locs",
+        "own_pos",
+        "recv_pos",
+    )
 
     def __init__(self, array: BaseDistArray):
         self.array = array
@@ -35,6 +62,32 @@ class ReadPlan:
         self.recv_from: dict[int, list[np.ndarray]] = {}
         self.send_to: dict[int, list[np.ndarray]] = {}
         self.own_overlap: list[np.ndarray] | None = None
+        # -- frozen executor schedule (see freeze()) --------------------
+        self.send_locs: dict[int, tuple] = {}
+        self.own_locs: tuple | None = None
+        self.own_pos: tuple | None = None
+        self.recv_pos: dict[int, tuple] = {}
+
+    def freeze(self, rank: int) -> None:
+        """Compile the index lists into reusable gather/scatter arrays."""
+        array = self.array
+        if self.needed is not None:
+            for src, lists in self.recv_from.items():
+                self.recv_pos[src] = np.ix_(
+                    *(acc.positions_in(n, g) for n, g in zip(self.needed, lists))
+                )
+            if self.own_overlap is not None:
+                self.own_pos = np.ix_(
+                    *(
+                        acc.positions_in(n, g)
+                        for n, g in zip(self.needed, self.own_overlap)
+                    )
+                )
+        if array.grid.contains(rank):
+            if self.own_overlap is not None:
+                self.own_locs = np.ix_(*local_positions(array, rank, self.own_overlap))
+            for dst, lists in self.send_to.items():
+                self.send_locs[dst] = np.ix_(*local_positions(array, rank, lists))
 
 
 class WritePlan:
@@ -91,6 +144,11 @@ class LoopAnalysis:
                         plans[me].recv_from[q] = inter
                         plans[q].send_to[me] = inter
             self.read_plans.append(plans)
+
+        # ---- freeze: compile plans into reusable comm schedules -----------
+        for plans in self.read_plans:
+            for me, plan in plans.items():
+                plan.freeze(me)
 
         # ---- write analysis -----------------------------------------------
         # write_plans[stmt_idx][rank]

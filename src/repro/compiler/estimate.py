@@ -103,7 +103,7 @@ def _lists_nbytes(lists, itemsize: int) -> int:
 
 def estimate_doall(loop: Doall) -> LoopEstimate:
     """Predict the communication and computation of one doall loop."""
-    analysis: LoopAnalysis = get_analysis(loop)
+    analysis, _ = get_analysis(loop)
     out = LoopEstimate()
     for rank in analysis.ranks:
         iters = analysis.iters[rank]

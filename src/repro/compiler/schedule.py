@@ -16,18 +16,26 @@ iteration (the common case) compile once.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any
 
 import numpy as np
 
 from repro.compiler import access as acc
-from repro.compiler.commgen import LoopAnalysis, local_positions
+from repro.compiler.commgen import LoopAnalysis
 from repro.lang.doall import Doall
 from repro.lang.expr import BinOp, Const, Ref
-from repro.machine.ops import ANY, Compute, Recv, Send
+from repro.machine.ops import ANY, Compute, Mark, Recv, Send
 from repro.util.errors import CompileError
 
-_PLAN_CACHE: dict[Any, LoopAnalysis] = {}
+# LRU-bounded: plan keys embed each array's comm_epoch, so a
+# redistribution orphans the old entries; they are purged eagerly by
+# drop_plans_for_array and, as a backstop, evicted once the cache
+# exceeds the cap.  Eviction is always safe -- analyses are derived
+# deterministically and locally, so a rank recompiling what another
+# rank still has cached produces identical communication.
+_PLAN_CACHE: OrderedDict[Any, LoopAnalysis] = OrderedDict()
+_PLAN_CACHE_MAX = 4096
 
 
 def clear_plan_cache() -> None:
@@ -35,13 +43,48 @@ def clear_plan_cache() -> None:
     _PLAN_CACHE.clear()
 
 
-def get_analysis(loop: Doall) -> LoopAnalysis:
+def drop_plan(loop: Doall) -> None:
+    """Forget one loop's cached analysis (``Doall.invalidate_plan`` hook)."""
+    _PLAN_CACHE.pop(loop.key(), None)
+
+
+def _involves_array(analysis: LoopAnalysis, array) -> bool:
+    for arr in analysis.loop.arrays():
+        a = arr
+        while a is not None:
+            if a is array:
+                return True
+            a = getattr(a, "base", None)
+    return False
+
+
+def drop_plans_for_array(array) -> int:
+    """Purge every cached analysis referencing ``array`` (or a section
+    of it); returns the count.  Called on redistribution so orphaned
+    plans (their keys embed the old comm epoch) do not accumulate.
+    """
+    doomed = [k for k, a in _PLAN_CACHE.items() if _involves_array(a, array)]
+    for k in doomed:
+        del _PLAN_CACHE[k]
+    return len(doomed)
+
+
+def get_analysis(loop: Doall) -> tuple[LoopAnalysis, bool]:
+    """Cached analysis of ``loop``; returns ``(analysis, was_cached)``.
+
+    The structural key is computed once here -- it walks the whole loop
+    body, so the replay path must not derive it twice per execution.
+    """
     key = loop.key()
     analysis = _PLAN_CACHE.get(key)
     if analysis is None:
         analysis = LoopAnalysis(loop)
         _PLAN_CACHE[key] = analysis
-    return analysis
+        while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+            _PLAN_CACHE.popitem(last=False)
+        return analysis, False
+    _PLAN_CACHE.move_to_end(key)
+    return analysis, True
 
 
 class _Workspace:
@@ -53,9 +96,9 @@ class _Workspace:
         self.needed = needed
         self.data = np.empty([n.size for n in needed], dtype=dtype)
 
-    def put(self, lists: list[np.ndarray], values: np.ndarray) -> None:
-        pos = [acc.positions_in(n, g) for n, g in zip(self.needed, lists)]
-        self.data[np.ix_(*pos)] = values
+    def put_at(self, pos: tuple, values: np.ndarray) -> None:
+        """Scatter a box of values through precomputed positions."""
+        self.data[pos] = values
 
     def fetch(self, idx_arrays: list[np.ndarray]) -> np.ndarray:
         pos = tuple(
@@ -89,21 +132,24 @@ def execute_doall(ctx, loop: Doall):
     me = ctx.rank
     if not loop.grid.contains(me):
         raise CompileError(f"rank {me} executing doall outside its grid")
-    analysis = get_analysis(loop)
+    analysis, reused = get_analysis(loop)
     tag = ctx.next_tag(loop.grid)
     iters = analysis.iters[me]
+    yield Mark(
+        "commsched/hit" if reused else "commsched/build",
+        payload=("doall", ",".join(v.name for v in loop.vars)),
+    )
 
     # ---- phase 1: ghost sends (pre-write snapshots) ----------------------
+    # The frozen ReadPlan schedules turn each send into one bulk gather.
     for arr_idx, plans in enumerate(analysis.read_plans):
         plan = plans[me]
         array = plan.array
         if not array.grid.contains(me):
             continue
         block = array.local(me)
-        for dst, lists in sorted(plan.send_to.items()):
-            locs = local_positions(array, me, lists)
-            values = block[np.ix_(*locs)]
-            yield Send(dst, values, tag=(tag, "gh", arr_idx, me))
+        for dst in sorted(plan.send_locs):
+            yield Send(dst, block[plan.send_locs[dst]], tag=(tag, "gh", arr_idx, me))
 
     # ---- phase 2: assemble workspaces ------------------------------------
     workspaces: dict[int, _Workspace] = {}
@@ -114,11 +160,10 @@ def execute_doall(ctx, loop: Doall):
             continue  # no iterations here; nothing to read
         ws = _Workspace(plan.needed, array.dtype)
         if plan.own_overlap is not None:
-            locs = local_positions(array, me, plan.own_overlap)
-            ws.put(plan.own_overlap, array.local(me)[np.ix_(*locs)])
-        for src, lists in sorted(plan.recv_from.items()):
+            ws.put_at(plan.own_pos, array.local(me)[plan.own_locs])
+        for src in sorted(plan.recv_pos):
             values = yield Recv(src=src, tag=(tag, "gh", arr_idx, src))
-            ws.put(lists, values)
+            ws.put_at(plan.recv_pos[src], values)
         workspaces[id(array)] = ws
 
     # ---- phase 3: evaluate and write -------------------------------------

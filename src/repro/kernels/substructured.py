@@ -185,6 +185,17 @@ class Mapping:
         """Rank holding pair ``j`` of tree level ``level`` (level 0 = blocks)."""
         raise NotImplementedError
 
+    def routing_key(self):
+        """Hashable identity for the routing-schedule cache.
+
+        Two mappings with equal keys must answer ``pair_rank``
+        identically.  The default covers mappings fully determined by
+        (class, p); subclasses carrying extra constructor state (a
+        seed, a permutation, ...) must include it here or their cached
+        routings will alias.
+        """
+        return (type(self), self.p)
+
     def npairs(self, level: int) -> int:
         return self.p >> level
 
@@ -225,13 +236,84 @@ class ShuffleMapping(Mapping):
 
 
 # ----------------------------------------------------------------------
+# Cached tree-routing schedule
+# ----------------------------------------------------------------------
+
+
+class TreeRouting:
+    """Precomputed communication schedule of one reduction tree.
+
+    The mapping functions answer "where does pair j of level l live?"
+    one query at a time; every solve (and every system of a pipelined
+    multi-solve) used to re-derive the same answers.  A ``TreeRouting``
+    tabulates them once per (mapping class, p): per-rank holdings at
+    each level, the upward destination of every pair, and the apex --
+    the tri solver's analogue of a cached inspector/executor schedule.
+    """
+
+    __slots__ = ("name", "p", "k", "apex", "_rank_of", "_holdings", "_up_dest")
+
+    def __init__(self, mapping: Mapping):
+        self.name = mapping.name
+        self.p = mapping.p
+        self.k = mapping.k
+        self.apex = mapping.pair_rank(self.k, 0)
+        self._rank_of: dict[tuple[int, int], int] = {(self.k, 0): self.apex}
+        self._holdings: dict[int, dict[int, list[int]]] = {}
+        self._up_dest: dict[tuple[int, int], int] = {}
+        for level in range(self.k):
+            per_rank: dict[int, list[int]] = {}
+            for j in range(mapping.npairs(level)):
+                holder = mapping.pair_rank(level, j)
+                self._rank_of[(level, j)] = holder
+                per_rank.setdefault(holder, []).append(j)
+                if level + 1 < self.k:
+                    self._up_dest[(level, j)] = mapping.pair_rank(level + 1, j // 2)
+                else:
+                    self._up_dest[(level, j)] = self.apex
+            self._holdings[level] = per_rank
+
+    def rank_of(self, level: int, j: int) -> int:
+        """Rank holding pair ``j`` of ``level`` (tabulated)."""
+        return self._rank_of[(level, j)]
+
+    def up_dest(self, level: int, j: int) -> int:
+        """Rank consuming the reduced pair ``j`` of ``level``."""
+        return self._up_dest[(level, j)]
+
+    def holdings(self, rank: int, level: int) -> list[int]:
+        """Pairs this rank holds at ``level``."""
+        return self._holdings.get(level, {}).get(rank, [])
+
+
+_ROUTING_CACHE: dict[tuple, TreeRouting] = {}
+
+
+def get_routing(mapping: Mapping) -> tuple[TreeRouting, bool]:
+    """Cached routing keyed by ``mapping.routing_key()``; returns
+    (routing, was_cached)."""
+    key = mapping.routing_key()
+    routing = _ROUTING_CACHE.get(key)
+    if routing is not None:
+        return routing, True
+    routing = TreeRouting(mapping)
+    _ROUTING_CACHE[key] = routing
+    return routing, False
+
+
+def clear_routing_cache() -> None:
+    """Drop all cached tree routings (mostly for tests)."""
+    _ROUTING_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
 # SPMD node program
 # ----------------------------------------------------------------------
 
 
 def _holdings(mapping: Mapping, rank: int, level: int) -> list[int]:
-    """Pairs this rank holds at ``level``."""
-    return [j for j in range(mapping.npairs(level)) if mapping.pair_rank(level, j) == rank]
+    """Pairs this rank holds at ``level`` (served from the routing cache)."""
+    return get_routing(mapping)[0].holdings(rank, level)
 
 
 def tri_node_program(
@@ -257,6 +339,12 @@ def tri_node_program(
         out[rank] = thomas_solve(b, a, c, f)
         return
 
+    routing, was_cached = get_routing(mapping)
+    yield Mark(
+        "commsched/hit" if was_cached else "commsched/build",
+        payload=("tri-routing", mapping.name, p),
+    )
+
     # ---- Phase A: local reduction (Figure 1) --------------------------
     yield Mark("tri/reduce", payload=(sys_id, 0))
     red = local_reduce(b, a, c, f)
@@ -264,7 +352,7 @@ def tri_node_program(
     my_pair = (red.first, red.last)
 
     # route my level-0 pair toward its level-1 parent
-    parent = mapping.pair_rank(1, rank // 2) if k >= 2 else mapping.pair_rank(k, 0)
+    parent = routing.up_dest(0, rank)
     saved: dict[tuple[int, int], ReducedBlock] = {}
     pair_at: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {(0, rank): my_pair}
     if parent != rank:
@@ -272,7 +360,7 @@ def tri_node_program(
 
     # ---- Phase B: tree reduction (Figures 2-3) -------------------------
     for level in range(1, k):
-        for j in _holdings(mapping, rank, level):
+        for j in routing.holdings(rank, level):
             yield Mark("tri/reduce", payload=(sys_id, level))
             pa = yield from _obtain_pair(rank, mapping, level - 1, 2 * j, pair_at, sys_id)
             pb = yield from _obtain_pair(rank, mapping, level - 1, 2 * j + 1, pair_at, sys_id)
@@ -280,17 +368,14 @@ def tri_node_program(
             yield Compute(flops=reduce_flops(4), label="tree_reduce")
             saved[(level, j)] = sred
             pair_at[(level, j)] = (first, last)
-            if level + 1 < k:
-                dest = mapping.pair_rank(level + 1, j // 2)
-            else:
-                dest = mapping.pair_rank(k, 0)
+            dest = routing.up_dest(level, j)
             if dest != rank:
                 yield Send(
                     dest, np.concatenate((first, last)), tag=("tri", sys_id, "up", level, j)
                 )
 
     # ---- Apex: solve the final four rows by Thomas ---------------------
-    apex = mapping.pair_rank(k, 0)
+    apex = routing.apex
     top_level = k - 1
     if rank == apex:
         yield Mark("tri/apex", payload=(sys_id, k))
@@ -300,7 +385,7 @@ def tri_node_program(
         yield Compute(flops=THOMAS_FLOPS_PER_ROW * 4, label="apex_thomas")
         for idx, j in enumerate((0, 1)):
             vals = x4[2 * idx : 2 * idx + 2]
-            holder = mapping.pair_rank(top_level, j)
+            holder = routing.rank_of(top_level, j)
             if holder == rank:
                 pair_at[("x", top_level, j)] = vals
             else:
@@ -308,14 +393,14 @@ def tri_node_program(
 
     # ---- Substitution: descend the tree (Figure 4) ----------------------
     for level in range(k - 1, 0, -1):
-        for j in _holdings(mapping, rank, level):
+        for j in routing.holdings(rank, level):
             yield Mark("tri/subst", payload=(sys_id, level))
             key = ("x", level, j)
             if key in pair_at:
                 x_first, x_last = pair_at[key]
             else:
                 vals = yield Recv(
-                    src=apex if level == top_level else mapping.pair_rank(level + 1, j // 2),
+                    src=routing.up_dest(level, j),
                     tag=("tri", sys_id, "dn", level, j),
                 )
                 x_first, x_last = vals
@@ -323,7 +408,7 @@ def tri_node_program(
             x4 = sred.interior_solve(x_first, x_last)
             yield Compute(flops=SUBST_FLOPS_PER_ROW * 2, label="tree_subst")
             for cj, vals in ((2 * j, x4[0:2]), (2 * j + 1, x4[2:4])):
-                holder = mapping.pair_rank(level - 1, cj)
+                holder = routing.rank_of(level - 1, cj)
                 if holder == rank:
                     pair_at[("x", level - 1, cj)] = vals
                 else:
@@ -335,8 +420,7 @@ def tri_node_program(
     if key in pair_at:
         xb = pair_at[key]
     else:
-        src = mapping.pair_rank(1, rank // 2) if k >= 2 else apex
-        xb = yield Recv(src=src, tag=("tri", sys_id, "dn", 0, rank))
+        xb = yield Recv(src=routing.up_dest(0, rank), tag=("tri", sys_id, "dn", 0, rank))
     x_block = red.interior_solve(float(xb[0]), float(xb[1]))
     yield Compute(flops=SUBST_FLOPS_PER_ROW * m, label="block_subst")
     out[rank] = x_block

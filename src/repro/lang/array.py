@@ -11,6 +11,7 @@ parent's blocks.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any
 
 import numpy as np
@@ -25,11 +26,20 @@ def _is_index_expr(x) -> bool:
     return isinstance(x, (LoopVar, AffineExpr))
 
 
+#: Process-wide array identities for communication-schedule cache keys.
+_UIDS = itertools.count()
+
+
 class BaseDistArray:
     """Interface shared by :class:`DistArray` and :class:`Section`.
 
     The compiler only uses this protocol: shape/dtype, the owning grid,
-    per-dimension bound distributions, and per-rank local views.
+    per-dimension bound distributions, and per-rank local views.  Every
+    array additionally carries two communication-schedule cache hooks: a
+    process-unique ``uid`` and a ``comm_epoch`` that is bumped whenever
+    the data layout changes (see :meth:`invalidate_schedules`), which
+    orphans every cached schedule and loop plan built against the old
+    layout.
     """
 
     name: str
@@ -40,6 +50,33 @@ class BaseDistArray:
     @property
     def ndim(self) -> int:
         return len(self.shape)
+
+    # -- communication-schedule cache hooks -----------------------------
+
+    @property
+    def comm_epoch(self) -> int:
+        """Layout generation: schedules keyed on an older epoch are stale."""
+        return getattr(self, "_comm_epoch", 0)
+
+    def invalidate_schedules(self) -> None:
+        """Declare every communication schedule for this array stale.
+
+        Called automatically on redistribution; call it manually after
+        any out-of-band change to the array's layout.  Cached gather
+        schedules and compiled doall plans key on ``comm_epoch``, so
+        bumping it makes them unreachable (they are rebuilt on next
+        use); the orphaned doall plans and default-cache gather
+        schedules are purged eagerly so they do not accumulate across
+        repeated redistributions.  User-owned
+        :class:`~repro.compiler.commsched.ScheduleCache` instances
+        should be purged explicitly via ``cache.invalidate_array(arr)``.
+        """
+        self._comm_epoch = self.comm_epoch + 1
+        from repro.compiler.commsched import DEFAULT_CACHE
+        from repro.compiler.schedule import drop_plans_for_array
+
+        drop_plans_for_array(self)
+        DEFAULT_CACHE.invalidate_array(self)
 
     def dim(self, k: int) -> BoundDim:
         """Bound distribution of array dimension ``k``."""
@@ -193,6 +230,8 @@ class DistArray(BaseDistArray):
         self.name = name
         if dist is None:
             dist = ("*",) * len(self.shape)
+        self.uid = next(_UIDS)
+        self._comm_epoch = 0
         self.dist = Distribution(dist, self.shape, grid.shape)
         self._blocks: dict[int, np.ndarray] = {}
         for rank in grid.linear:
@@ -200,6 +239,27 @@ class DistArray(BaseDistArray):
             self._blocks[rank] = np.zeros(
                 self.dist.local_shape(coords), dtype=self.dtype
             )
+
+    def redistribute(self, dist) -> None:
+        """Re-lay the array out with a new distribution, preserving values.
+
+        The paper's arrays are statically distributed, but schedule
+        caching makes layout a cached artifact, so redistribution must be
+        an explicit, invalidating operation: local blocks are rebuilt for
+        the new distribution and :meth:`invalidate_schedules` bumps the
+        comm epoch so every cached gather schedule and doall plan keyed
+        on the old layout is rebuilt on next use.
+        """
+        values = self.to_global()
+        self.dist = Distribution(dist, self.shape, self.grid.shape)
+        self._blocks = {}
+        for rank in self.grid.linear:
+            coords = self.grid.coords_of(rank)
+            self._blocks[rank] = np.zeros(
+                self.dist.local_shape(coords), dtype=self.dtype
+            )
+        self.from_global(values)
+        self.invalidate_schedules()
 
     def dim(self, k: int) -> BoundDim:
         return self.dist.dim(k)
@@ -239,6 +299,11 @@ class Section(BaseDistArray):
         if len(key) != base.ndim:
             raise ValidationError("section key must cover every dimension")
         self.base = base
+        self.uid = next(_UIDS)
+        # Snapshot of the base layout this section was sliced from: the
+        # grid restriction and dim mapping below are derived from it, so
+        # the section must refuse to operate if the base is re-laid out.
+        self._base_dist = getattr(base, "dist", None)
         self.name = f"{base.name}[section]"
         kept: list[int] = []
         fixed: dict[int, int] = {}
@@ -284,13 +349,41 @@ class Section(BaseDistArray):
             else:
                 self._grid_dim_map.append(remaining_grid_dims.index(g))
 
+    @property
+    def comm_epoch(self) -> int:
+        """Sections share their base array's layout generation."""
+        return self.base.comm_epoch
+
+    def invalidate_schedules(self) -> None:
+        self.base.invalidate_schedules()
+
+    def _check_fresh(self) -> None:
+        """Refuse to operate on a section of a redistributed base.
+
+        The grid restriction and dim mapping were computed from the
+        layout at slicing time; using them against a new layout would
+        silently read the wrong ranks.  Re-slice the base instead.
+        """
+        base = self.base
+        if isinstance(base, Section):
+            base._check_fresh()
+        elif getattr(base, "dist", self._base_dist) is not self._base_dist:
+            raise ValidationError(
+                f"stale section of {base.name!r}: the base array was "
+                "redistributed after this section was created; take a "
+                "fresh section of the new layout"
+            )
+
     def dim(self, k: int) -> BoundDim:
+        self._check_fresh()
         return self.base.dim(self.kept[k])
 
     def grid_dim_of(self, k: int) -> int | None:
+        self._check_fresh()
         return self._grid_dim_map[k]
 
     def local(self, rank: int) -> np.ndarray:
+        self._check_fresh()
         block = self.base.local(rank)
         sel: list = []
         for k in range(self.base.ndim):

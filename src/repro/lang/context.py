@@ -10,6 +10,7 @@ compiler-assigned channel identities of real KF1.
 
 from __future__ import annotations
 
+import itertools
 import operator
 from typing import Any, Callable
 
@@ -20,14 +21,21 @@ from repro.machine.trace import Trace
 from repro.util.errors import ValidationError
 
 
+#: Per-process launch identities; all ranks of one ``run_spmd`` launch
+#: share one id, which scopes collective cache decisions to that run
+#: (per-grid tag counters restart every run, so tags alone recur).
+_RUN_IDS = itertools.count()
+
+
 class KaliCtx:
     """Per-rank execution context for SPMD parallel subroutines."""
 
-    def __init__(self, rank: int, grid: ProcessorGrid):
+    def __init__(self, rank: int, grid: ProcessorGrid, run_id: int | None = None):
         if not grid.contains(rank):
             raise ValidationError(f"rank {rank} not in grid {grid.shape}")
         self.rank = rank
         self.grid = grid
+        self.run_id = run_id
         self._counters: dict[tuple, int] = {}
 
     # -- tag discipline --------------------------------------------------
@@ -51,6 +59,21 @@ class KaliCtx:
         from repro.compiler.schedule import execute_doall
 
         return execute_doall(self, loop)
+
+    # -- irregular gathers ------------------------------------------------
+
+    def cached_gather(self, grid: ProcessorGrid, array, indices, cache=None):
+        """Collective irregular gather with schedule caching.
+
+        First call with a given index pattern runs the full two-round
+        inspection; repeats replay the cached schedule with one round of
+        coalesced value messages.  ``cache`` defaults to the process-wide
+        :data:`repro.compiler.commsched.DEFAULT_CACHE`.  Yields machine
+        ops (use ``yield from``); evaluates to the gathered values.
+        """
+        from repro.compiler.commsched import cached_inspector_gather
+
+        return cached_inspector_gather(self, grid, array, indices, cache=cache)
 
     # -- collectives over grids -------------------------------------------
 
@@ -83,7 +106,9 @@ def run_spmd(
         raise ValidationError(
             f"grid of {grid.size} procs exceeds machine size {machine.n_procs}"
         )
+    run_id = next(_RUN_IDS)
     programs = {
-        rank: routine(KaliCtx(rank, grid), *args, **kwargs) for rank in grid.linear
+        rank: routine(KaliCtx(rank, grid, run_id=run_id), *args, **kwargs)
+        for rank in grid.linear
     }
     return machine.run(programs)

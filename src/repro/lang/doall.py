@@ -53,6 +53,7 @@ class Owner(OnClause):
         return (
             "owner",
             id(self.array),
+            getattr(self.array, "comm_epoch", 0),
             tuple(None if e is None else e.key() for e in self.idx),
         )
 
@@ -157,7 +158,12 @@ class Doall:
         return list(seen.values())
 
     def key(self):
-        """Structural identity for plan caching."""
+        """Structural identity for plan caching.
+
+        Includes each referenced array's ``comm_epoch`` (via the Ref and
+        Owner keys), so redistributing an array automatically retires the
+        plans compiled against its old layout.
+        """
         return (
             tuple(v.name for v in self.vars),
             self.ranges,
@@ -165,3 +171,9 @@ class Doall:
             tuple(st.key() for st in self.body),
             self.grid.key(),
         )
+
+    def invalidate_plan(self) -> None:
+        """Drop this loop's cached analysis/communication schedule."""
+        from repro.compiler.schedule import drop_plan
+
+        drop_plan(self)

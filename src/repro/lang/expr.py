@@ -293,7 +293,14 @@ class Ref(Expr):
         return out
 
     def key(self):
-        return ("ref", id(self.array), tuple(e.key() for e in self.idx))
+        # The array's comm epoch is part of the identity so that cached
+        # loop plans die with the layout they were compiled against.
+        return (
+            "ref",
+            id(self.array),
+            getattr(self.array, "comm_epoch", 0),
+            tuple(e.key() for e in self.idx),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"{getattr(self.array, 'name', 'A')}[{', '.join(map(repr, self.idx))}]"

@@ -89,6 +89,43 @@ class Trace:
         return sum(m.t_arrive - m.t_send for m in self.messages)
 
     # ------------------------------------------------------------------
+    # Communication-schedule reuse (inspector/executor amortization)
+    # ------------------------------------------------------------------
+
+    #: Label prefix used by the compiler/runtime for schedule events:
+    #: ``commsched/hit`` (a cached schedule was replayed),
+    #: ``commsched/miss`` (an irregular-gather schedule had to be built),
+    #: ``commsched/build`` (a doall communication plan was compiled).
+    SCHED_PREFIX = "commsched/"
+
+    def schedule_events(self) -> list[MarkRecord]:
+        """All schedule cache events, in simulated-time order of record."""
+        return [m for m in self.marks if m.label.startswith(self.SCHED_PREFIX)]
+
+    def schedule_counts(self) -> dict[str, int]:
+        """Event counts by kind, e.g. ``{"hit": 8, "build": 1}``."""
+        out: dict[str, int] = {}
+        for m in self.schedule_events():
+            kind = m.label[len(self.SCHED_PREFIX):]
+            out[kind] = out.get(kind, 0) + 1
+        return out
+
+    def schedule_hit_rate(self) -> float:
+        """Fraction of schedule lookups served from cache (0.0 if none).
+
+        Benchmarks report this as the reuse rate: hits over all events
+        (hits + misses + builds), counted per rank per call.  A build is
+        recorded once per process-wide compile -- the other ranks of
+        that same collective execution count as hits, since they fetch
+        the shared plan instead of deriving it.
+        """
+        counts = self.schedule_counts()
+        total = sum(counts.values())
+        if total == 0:
+            return 0.0
+        return counts.get("hit", 0) / total
+
+    # ------------------------------------------------------------------
     # Mark-based analysis (data-flow figures)
     # ------------------------------------------------------------------
 

@@ -30,12 +30,15 @@ Two variants, as in the paper:
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.kernels.pipelined import pipelined_node_program
 from repro.kernels.substructured import ContiguousMapping, ShuffleMapping, tri_node_program
 from repro.kernels.thomas import thomas_solve_many
 from repro.lang import Assign, DistArray, Doall, Owner, ProcessorGrid, loopvars, run_spmd
+from repro.machine.ops import Mark
 from repro.machine.simulator import Machine
 from repro.machine.translate import translate_ranks
 from repro.tensor.poisson import Coeffs2D, laplacian_2d
@@ -121,6 +124,66 @@ def _build_update_loop(u, v, n, tau, grid):
     )
 
 
+class _LinePlan:
+    """One rank's precomputed share of a line-solve sweep.
+
+    Deriving the solver group, block bounds and owned lines is pure
+    layout information -- loop-invariant across ADI iterations -- so it
+    is computed once per (grid, array layout, axis, rank) and replayed
+    every sweep, mirroring the compiler's cached communication
+    schedules.
+    """
+
+    __slots__ = ("group", "p", "my_pos", "lo", "hi", "my_lines")
+
+    def __init__(self, grid, rhs_arr, axis, me):
+        coords = grid.coords_of(me)
+        if axis == 0:
+            group_grid = grid[:, coords[1]]
+            my_pos = coords[0]
+            line_dim, sys_dim = 0, 1
+        else:
+            group_grid = grid[coords[0], :]
+            my_pos = coords[1]
+            line_dim, sys_dim = 1, 0
+        self.group = group_grid.linear
+        self.p = len(self.group)
+        self.my_pos = my_pos
+        n_line = rhs_arr.shape[line_dim]
+        self.lo, self.hi = block_bounds(n_line, self.p, my_pos)
+        # global indices of the lines (systems) I hold along sys_dim
+        sys_bd = rhs_arr.dim(sys_dim)
+        gd = rhs_arr.grid_dim_of(sys_dim)
+        sys_coord = coords[gd] if gd is not None else 0
+        self.my_lines = sys_bd.owned_indices(sys_coord)
+
+
+# Bounded FIFO: keys embed per-instance array uids, so long parameter
+# sweeps would otherwise accumulate dead entries forever.  Partial
+# eviction is harmless here (a plan rebuild is purely local and
+# deterministic -- no protocol divergence), so a plain cap suffices.
+_LINE_PLAN_CACHE: OrderedDict[tuple, _LinePlan] = OrderedDict()
+_LINE_PLAN_CACHE_MAX = 1024
+
+
+def _line_plan(grid, rhs_arr, axis, me) -> tuple[_LinePlan, bool]:
+    """Cached :class:`_LinePlan`; returns (plan, was_cached)."""
+    key = (grid.key(), rhs_arr.uid, rhs_arr.comm_epoch, axis, me)
+    plan = _LINE_PLAN_CACHE.get(key)
+    if plan is not None:
+        return plan, True
+    plan = _LinePlan(grid, rhs_arr, axis, me)
+    _LINE_PLAN_CACHE[key] = plan
+    while len(_LINE_PLAN_CACHE) > _LINE_PLAN_CACHE_MAX:
+        _LINE_PLAN_CACHE.popitem(last=False)
+    return plan, False
+
+
+def clear_line_plan_cache() -> None:
+    """Drop all cached ADI line plans (mostly for tests)."""
+    _LINE_PLAN_CACHE.clear()
+
+
 def _solve_lines(ctx, grid, rhs_arr, out_arr, diags, axis, pipelined, phase):
     """Solve a tridiagonal system along ``axis`` for every grid line.
 
@@ -130,26 +193,18 @@ def _solve_lines(ctx, grid, rhs_arr, out_arr, diags, axis, pipelined, phase):
     """
     b, a, c = diags
     me = ctx.rank
-    coords = grid.coords_of(me)
-    if axis == 0:
-        group_grid = grid[:, coords[1]]
-        my_pos = coords[0]
-        line_dim, sys_dim = 0, 1
-    else:
-        group_grid = grid[coords[0], :]
-        my_pos = coords[1]
-        line_dim, sys_dim = 1, 0
-    group = group_grid.linear
-    p = len(group)
-    n_line = rhs_arr.shape[line_dim]
-    lo, hi = block_bounds(n_line, p, my_pos)
+    plan, was_cached = _line_plan(grid, rhs_arr, axis, me)
+    yield Mark(
+        "commsched/hit" if was_cached else "commsched/build",
+        payload=("adi-lines", axis),
+    )
+    group = plan.group
+    p = plan.p
+    my_pos = plan.my_pos
+    lo, hi = plan.lo, plan.hi
     rhs_local = rhs_arr.local(me)
     out_local = out_arr.local(me)
-    # global indices of the lines (systems) I hold along sys_dim
-    sys_bd = rhs_arr.dim(sys_dim)
-    gd = rhs_arr.grid_dim_of(sys_dim)
-    sys_coord = coords[gd] if gd is not None else 0
-    my_lines = sys_bd.owned_indices(sys_coord)
+    my_lines = plan.my_lines
 
     def line_block(s_local):
         if axis == 0:

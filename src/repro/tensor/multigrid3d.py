@@ -22,6 +22,15 @@ With ``dist=("*", "*", "block")`` the planes are entirely local and the
 plane solves run sequentially per processor -- the alternative
 distribution discussed at the end of section 5; the distribution
 ablation benchmark compares the two.
+
+All loops are built once (in ``__init__``) and re-executed every V-cycle,
+so they ride the compiler's cached communication schedules: each doall's
+plan is compiled once per process (one ``commsched/build`` trace mark,
+recorded by whichever rank compiles it first), and every other execution
+-- the remaining ranks of that sweep and all later sweeps -- replays the
+frozen gather/scatter schedule (``commsched/hit``).
+``trace.schedule_hit_rate()`` reports the reuse, counted per rank per
+call.
 """
 
 from __future__ import annotations

@@ -1,0 +1,128 @@
+"""Property test: cached-schedule replay is bit-identical to the
+uncached inspector gather for arbitrary distributions and request sets,
+including ranks that request nothing.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import ScheduleCache, inspector_gather
+from repro.lang import BlockCyclic, DistArray, ProcessorGrid, run_spmd
+from repro.machine import Machine
+
+
+def _dist_of(kind: str):
+    if kind.startswith("blockcyclic"):
+        return BlockCyclic(int(kind.rsplit("-", 1)[1]))
+    return kind
+
+
+@st.composite
+def gather_cases(draw):
+    p = draw(st.integers(min_value=1, max_value=4))
+    n = draw(st.integers(min_value=p, max_value=24))
+    kind = draw(
+        st.sampled_from(["block", "cyclic", "blockcyclic-2", "blockcyclic-3"])
+    )
+    # per-rank request lists; empty lists exercise the no-request path
+    index_lists = [
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1), min_size=0, max_size=8
+            )
+        )
+        for _ in range(p)
+    ]
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    sweeps = draw(st.integers(min_value=2, max_value=3))
+    return p, n, kind, index_lists, seed, sweeps
+
+
+@given(gather_cases())
+@settings(max_examples=30, deadline=None)
+def test_cached_replay_bit_identical(case):
+    p, n, kind, index_lists, seed, sweeps = case
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(n)
+    idx = {
+        r: np.asarray(lst, dtype=np.int64).reshape(-1, 1)
+        for r, lst in enumerate(index_lists)
+    }
+
+    def fresh_array(g):
+        A = DistArray((n,), g, dist=(_dist_of(kind),), name="A")
+        A.from_global(values)
+        return A
+
+    # -- uncached reference ------------------------------------------------
+    g = ProcessorGrid((p,))
+    A = fresh_array(g)
+    reference = {}
+
+    def prog_uncached(ctx):
+        reference[ctx.rank] = yield from inspector_gather(ctx, g, A, idx[ctx.rank])
+
+    run_spmd(Machine(n_procs=p), g, prog_uncached)
+
+    # -- cached: one build sweep + replays ---------------------------------
+    A2 = fresh_array(g)
+    cache = ScheduleCache()
+    replays = {r: [] for r in range(p)}
+
+    def prog_cached(ctx):
+        for _ in range(sweeps):
+            vals = yield from ctx.cached_gather(g, A2, idx[ctx.rank], cache=cache)
+            replays[ctx.rank].append(vals)
+
+    trace = run_spmd(Machine(n_procs=p), g, prog_cached)
+
+    for r in range(p):
+        for vals in replays[r]:
+            assert vals.dtype == reference[r].dtype
+            np.testing.assert_array_equal(reference[r], vals)
+    # every rank misses exactly once, then always hits
+    assert cache.misses == p
+    assert cache.hits == p * (sweeps - 1)
+    assert trace.schedule_hit_rate() == pytest.approx((sweeps - 1) / sweeps)
+
+
+@given(gather_cases())
+@settings(max_examples=15, deadline=None)
+def test_replay_never_sends_more_messages(case):
+    """Replay sweeps never exceed the message count of a fresh inspection."""
+    p, n, kind, index_lists, seed, sweeps = case
+    idx = {
+        r: np.asarray(lst, dtype=np.int64).reshape(-1, 1)
+        for r, lst in enumerate(index_lists)
+    }
+
+    def fresh_array(g):
+        A = DistArray((n,), g, dist=(_dist_of(kind),), name="A")
+        A.from_global(np.arange(float(n)))
+        return A
+
+    g = ProcessorGrid((p,))
+
+    A = fresh_array(g)
+
+    def prog_uncached(ctx):
+        yield from inspector_gather(ctx, g, A, idx[ctx.rank])
+
+    t_un = run_spmd(Machine(n_procs=p), g, prog_uncached)
+    per_sweep = t_un.message_count()
+
+    A2 = fresh_array(g)
+    cache = ScheduleCache()
+
+    def prog_cached(ctx):
+        for _ in range(sweeps):
+            yield from ctx.cached_gather(g, A2, idx[ctx.rank], cache=cache)
+
+    t_ca = run_spmd(Machine(n_procs=p), g, prog_cached)
+    replay_msgs = t_ca.message_count() - per_sweep
+    # build sweep == uncached sweep; each replay costs at most half of one
+    # fresh inspection (it drops the entire request round and empty replies)
+    if sweeps > 1:
+        assert replay_msgs <= (sweeps - 1) * per_sweep // 2

@@ -105,3 +105,66 @@ def test_property_gather_matches_direct_read(n, p, dist, seed):
         np.testing.assert_array_equal(
             results[r], np.array([i * 10.0 for i in lists[r]])
         )
+
+
+@pytest.mark.parametrize("dtype", [np.int32, np.float32, np.complex128])
+def test_gather_preserves_dtype(dtype):
+    """Gathered values (including empty replies) carry the array dtype."""
+    m = Machine(n_procs=3)
+    g = ProcessorGrid((3,))
+    A = DistArray((12,), g, dist=("block",), name="A", dtype=dtype)
+    A.from_global((np.arange(12) * 3).astype(dtype))
+    results = {}
+
+    # rank 0 gathers from everyone, rank 1 from nobody, rank 2 locally:
+    # owners must reply to empty requests with dtype-correct empties.
+    idx = {0: [11, 0, 4], 1: [], 2: [8]}
+
+    def prog(ctx):
+        arr = np.asarray(idx[ctx.rank], dtype=np.int64).reshape(-1, 1)
+        results[ctx.rank] = yield from inspector_gather(ctx, g, A, arr)
+
+    run_spmd(m, g, prog)
+    for r in range(3):
+        assert results[r].dtype == np.dtype(dtype)
+    np.testing.assert_array_equal(results[0], np.array([33, 0, 12], dtype=dtype))
+    assert results[1].size == 0
+    np.testing.assert_array_equal(results[2], np.array([24], dtype=dtype))
+
+
+def test_reply_payloads_carry_array_dtype_on_wire():
+    """Every reply payload -- including the empty reply to a rank that
+    requested nothing -- must carry the array dtype, not float64."""
+    from repro.machine.ops import Send
+
+    m = Machine(n_procs=2)
+    g = ProcessorGrid((2,))
+    A = DistArray((8,), g, dist=("block",), name="A", dtype=np.int16)
+    A.from_global(np.arange(8, dtype=np.int16))
+    seen = {}
+    reply_payloads = []
+
+    def prog(ctx):
+        # only rank 0 requests anything; rank 1 still sends an (empty) reply
+        idx = np.array([[7]]) if ctx.rank == 0 else None
+        inner = inspector_gather(ctx, g, A, idx)
+        # interpose on the op stream to capture the actual wire payloads
+        value = None
+        try:
+            while True:
+                op = inner.send(value)
+                if isinstance(op, Send) and op.tag[1] == "rep":
+                    reply_payloads.append(op.data)
+                value = yield op
+        except StopIteration as stop:
+            seen[ctx.rank] = stop.value
+
+    trace = run_spmd(m, g, prog)
+    assert len(reply_payloads) == 2  # one reply each way, one of them empty
+    for payload in reply_payloads:
+        assert payload.dtype == np.int16
+    sizes = sorted(p.size for p in reply_payloads)
+    assert sizes == [0, 1]
+    # the one-element int16 reply occupies 2 bytes on the wire, not 8
+    assert sorted(msg.nbytes for msg in trace.messages if msg.tag[1] == "rep") == [0, 2]
+    assert seen[0].dtype == np.int16 and seen[1].dtype == np.int16

@@ -124,3 +124,27 @@ def test_nonowner_local_raises():
     X = DistArray((8, 8), g, dist=("block", "block"))
     with pytest.raises(ValidationError):
         X.local(99)
+
+
+def test_section_of_redistributed_base_is_stale():
+    """Sections snapshot the base layout; redistribution must make them
+    error loudly instead of silently reading the wrong ranks."""
+    import pytest
+
+    from repro.util.errors import ValidationError
+
+    g = ProcessorGrid((2,))
+    u = DistArray((4, 6), g, dist=("block", "*"), name="u")
+    u.from_global(np.arange(24.0).reshape(4, 6))
+    sec = u[0, :]
+    assert float(sec.local(sec.grid.linear[0])[1]) == 1.0
+
+    u.redistribute(("*", "block"))
+    with pytest.raises(ValidationError, match="stale section"):
+        sec.local(sec.grid.linear[0])
+    with pytest.raises(ValidationError, match="stale section"):
+        sec.grid_dim_of(0)
+
+    # a fresh slice of the new layout works
+    fresh = u[0, :]
+    assert float(fresh.local(fresh.grid.linear[0])[1]) == 1.0

@@ -24,15 +24,23 @@ transformations the paper attributes to the Kali compiler:
   two-round gather fallback for irregular references (paper's reference
   [17], the Crowley/Saltz inspector/executor scheme).
 
-The inspector -> schedule -> executor pipeline for irregular references
-lives in :mod:`repro.compiler.commsched`: a one-time inspection builds a
-first-class :class:`~repro.compiler.commsched.GatherSchedule` (who needs
-what from whom, with precomputed permutation arrays), and the vectorized
-executor replays it with a single round of coalesced per-owner messages.
-Caching applies whenever the index pattern and the array layout are both
-unchanged: schedules are keyed on the array's ``uid``/``comm_epoch`` and
-an index-pattern fingerprint, and redistribution bumps the epoch so every
-stale schedule (and cached doall plan) is rebuilt on next use.
+The bidirectional TransferSchedule subsystem lives in
+:mod:`repro.compiler.commsched`: a
+:class:`~repro.compiler.commsched.TransferSchedule` is one rank's
+compiled share of a collective transfer -- a **gather** (the inspector ->
+schedule -> executor pipeline for irregular references: a one-time
+inspection builds the schedule, the vectorized executor replays it with
+a single round of coalesced per-owner messages), a **scatter** (the
+frozen remote-write plans of doall loops), or a **repartition** (the
+owner-to-owner relayout behind ``DistArray.redistribute`` /
+``ctx.redistribute``).  All three replay through one executor
+(:func:`~repro.compiler.commsched.execute_transfer`) and share the
+``commsched/*`` trace-mark vocabulary.  Caching: gather schedules key on
+the array's ``uid``/``comm_epoch`` and an index-pattern fingerprint, so
+redistribution (which bumps the epoch) orphans them; repartition
+schedules key on the (from-layout, to-layout) spec pair instead, so
+repeated layout flips replay forever; scatter schedules ride in the
+structurally-keyed doall plan cache.
 """
 
 from repro.compiler.schedule import execute_doall, clear_plan_cache, drop_plan
@@ -42,11 +50,18 @@ from repro.compiler.commsched import (
     DEFAULT_CACHE,
     GatherSchedule,
     ScheduleCache,
+    TransferSchedule,
     build_gather_schedule,
+    build_repartition_schedule,
     cached_inspector_gather,
+    cached_repartition,
     clear_schedule_cache,
     execute_gather,
+    execute_repartition,
+    execute_transfer,
     index_fingerprint,
+    repartition_key,
+    repartition_pieces,
     schedule_key,
 )
 
@@ -57,12 +72,19 @@ __all__ = [
     "estimate_doall",
     "LoopEstimate",
     "inspector_gather",
-    # inspector -> schedule -> executor pipeline
+    # the bidirectional TransferSchedule subsystem
+    "TransferSchedule",
     "GatherSchedule",
     "ScheduleCache",
     "DEFAULT_CACHE",
+    "execute_transfer",
     "build_gather_schedule",
     "execute_gather",
+    "build_repartition_schedule",
+    "execute_repartition",
+    "cached_repartition",
+    "repartition_key",
+    "repartition_pieces",
     "cached_inspector_gather",
     "clear_schedule_cache",
     "index_fingerprint",

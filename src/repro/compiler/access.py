@@ -56,13 +56,7 @@ def owned_lists(array: BaseDistArray, rank: int) -> list[np.ndarray] | None:
     """Per-dimension global indices stored by ``rank`` (None if not an owner)."""
     if not array.grid.contains(rank):
         return None
-    coords = array.grid.coords_of(rank)
-    out = []
-    for k in range(array.ndim):
-        g = array.grid_dim_of(k)
-        c = coords[g] if g is not None else 0
-        out.append(array.dim(k).owned_indices(c))
-    return out
+    return array.owned_lists(rank)
 
 
 def intersect_lists(

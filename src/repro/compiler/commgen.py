@@ -13,11 +13,15 @@ which is why the generated sends and receives match without any runtime
 negotiation -- the property the paper relies on for affine loops.
 
 The analysis result is *frozen* into per-rank communication schedules
-(:meth:`ReadPlan.freeze`): open-mesh local coordinates for every
-outgoing coalesced ghost message and scatter positions for every
-incoming one.  The executor in :mod:`repro.compiler.schedule` replays
-these precomputed arrays on every sweep, so repeated doall executions
-(the common case) pay for communication-set derivation exactly once.
+on both sides: :meth:`ReadPlan.freeze` compiles open-mesh local
+coordinates for every outgoing coalesced ghost message and scatter
+positions for every incoming one, and the write analysis compiles each
+statement's remote-write sets into a scatter-direction
+:class:`~repro.compiler.commsched.TransferSchedule` (value-vector
+selections out, local-block coordinates in).  The executor in
+:mod:`repro.compiler.schedule` replays these precomputed arrays on
+every sweep, so repeated doall executions (the common case) pay for
+communication-set derivation exactly once.
 """
 
 from __future__ import annotations
@@ -85,20 +89,39 @@ class ReadPlan:
                 )
         if array.grid.contains(rank):
             if self.own_overlap is not None:
-                self.own_locs = np.ix_(*local_positions(array, rank, self.own_overlap))
+                self.own_locs = np.ix_(*local_positions(array, self.own_overlap))
             for dst, lists in self.send_to.items():
-                self.send_locs[dst] = np.ix_(*local_positions(array, rank, lists))
+                self.send_locs[dst] = np.ix_(*local_positions(array, lists))
 
 
 class WritePlan:
-    """Write plan for one statement on one rank."""
+    """Write plan (frozen scatter schedule) for one statement on one rank.
 
-    __slots__ = ("all_local", "recv_count", "send_ranks")
+    ``transfer`` is the frozen scatter-direction
+    :class:`~repro.compiler.commsched.TransferSchedule` derived once at
+    compile time: selection arrays into the statement's flat value
+    vector for every outgoing coalesced value message and for the local
+    store, and precomputed local-block coordinates for every incoming
+    one.  The executor in :mod:`repro.compiler.schedule` replays these
+    arrays every sweep -- no owner computation, no index lists on the
+    wire (messages carry values only) -- mirroring the frozen
+    :class:`ReadPlan` on the read side.  ``transfer`` is None when the
+    statement moves no messages on this rank.
+
+    For the all-local fast path (every write lands on the executing
+    rank -- the paper's stencils) the store is frozen as ``local_box``
+    instead: an open-mesh local-coordinate box plus the axis mapping
+    from the iteration box, O(extent-per-dim) memory rather than
+    O(iteration-points) coordinate arrays.  ``local_box`` is None when
+    the lhs is not box-decomposable (e.g. ``A[i, i]``); the executor
+    then derives flat coordinates per sweep, as the seed did.
+    """
+
+    __slots__ = ("transfer", "local_box")
 
     def __init__(self):
-        self.all_local = True
-        self.recv_count = 0
-        self.send_ranks: list[int] = []
+        self.transfer = None
+        self.local_box = None
 
 
 class LoopAnalysis:
@@ -150,32 +173,60 @@ class LoopAnalysis:
             for me, plan in plans.items():
                 plan.freeze(me)
 
-        # ---- write analysis -----------------------------------------------
-        # write_plans[stmt_idx][rank]
+        # ---- write analysis: freeze scatter schedules ---------------------
+        # write_plans[stmt_idx][rank].  Like the read side, the analysis
+        # result is frozen once: selection arrays into each rank's flat
+        # value vector (what to store locally / send to each owner) and
+        # local-block coordinates for every incoming value message, so
+        # the executor never re-derives owners or payload index lists
+        # and remote-write messages carry values only.
+        from repro.compiler.commsched import TransferSchedule
+
+        def transfer_of(plan):
+            if plan.transfer is None:
+                plan.transfer = TransferSchedule("scatter")
+            return plan.transfer
+
         self.write_plans: list[dict[int, WritePlan]] = []
-        if self.writes_local:
-            for _ in self.stmts:
-                self.write_plans.append({r: WritePlan() for r in self.ranks})
-        else:
-            for sa in self.stmts:
-                plans = {r: WritePlan() for r in self.ranks}
-                # senders per destination, derived from every rank's writes
-                for r in self.ranks:
-                    iters = self.iters[r]
-                    if iters.empty:
+        for sa in self.stmts:
+            plans = {r: WritePlan() for r in self.ranks}
+            for r in self.ranks:
+                iters = self.iters[r]
+                if iters.empty:
+                    continue
+                idx_arrays = sa.lhs_index_arrays(iters)
+                if self.writes_local:
+                    plans[r].local_box = freeze_box_store(
+                        sa.lhs_array, idx_arrays, iters.shape()
+                    )
+                    continue
+                shape = iters.shape()
+                full_idx = [
+                    np.broadcast_to(np.asarray(a), shape).reshape(-1)
+                    for a in idx_arrays
+                ]
+                ts = transfer_of(plans[r])
+                owners = sa.lhs_array.owner_ranks_vec(tuple(idx_arrays))
+                owners = np.broadcast_to(owners, shape).reshape(-1)
+                for dst in (int(d) for d in np.unique(owners)):
+                    sel = np.nonzero(owners == dst)[0]
+                    piece = tuple(
+                        local_positions(sa.lhs_array, [g[sel] for g in full_idx])
+                    )
+                    if dst == r:
+                        ts.self_src = sel
+                        ts.self_dst = piece
                         continue
-                    idx_arrays = sa.lhs_index_arrays(iters)
-                    owners = sa.lhs_array.owner_ranks_vec(tuple(idx_arrays))
-                    owners_flat = np.unique(owners)
-                    for dst in owners_flat:
-                        dst = int(dst)
-                        if dst == r:
-                            continue
-                        plans[r].all_local = False
-                        plans[r].send_ranks.append(dst)
-                        if dst in plans:
-                            plans[dst].recv_count += 1
-                self.write_plans.append(plans)
+                    ts.sends.append((dst, sel))
+                    if dst in plans:
+                        transfer_of(plans[dst]).recvs.append((r, piece))
+            self.write_plans.append(plans)
+        self.has_remote_writes = any(
+            plan.transfer is not None
+            and (plan.transfer.sends or plan.transfer.recvs)
+            for plans in self.write_plans
+            for plan in plans.values()
+        )
 
     # ------------------------------------------------------------------
 
@@ -187,10 +238,58 @@ class LoopAnalysis:
         return self.iters[rank].count() * self.flops_per_point()
 
 
-def local_positions(array: BaseDistArray, rank: int, lists: list[np.ndarray]):
-    """Translate per-dim global index lists into local-block index lists."""
-    coords = array.grid.coords_of(rank)
-    out = []
-    for k, g in enumerate(lists):
-        out.append(np.asarray(array.dim(k).local_index(g), dtype=np.int64))
-    return out
+def freeze_box_store(array: BaseDistArray, idx_arrays, iters_shape: tuple):
+    """Freeze an all-local write as an open-mesh box store.
+
+    Returns ``(locs, perm, shape)`` -- a precomputed local-coordinate
+    open mesh, the transpose order mapping the iteration box onto
+    array-dimension order, and the target box shape -- or None when the
+    lhs index expressions do not decompose into one independent loop
+    axis per array dimension (e.g. ``A[i, i]``, or a loop variable
+    absent from the lhs so distinct iterations collide); the executor
+    then falls back to per-sweep flat coordinates.  The box costs
+    O(extent-per-dim) memory in the cached analysis, where per-point
+    coordinate arrays would cost O(iteration-points) per statement.
+    """
+    d = len(iters_shape)
+    lists: list[np.ndarray] = []
+    axes: list[int | None] = []
+    seen: set[int] = set()
+    for a in idx_arrays:
+        a = np.asarray(a)
+        if a.size == 1:
+            axes.append(None)
+            lists.append(a.reshape(1))
+        elif a.ndim == d:
+            varying = [ax for ax in range(d) if a.shape[ax] > 1]
+            if (
+                len(varying) != 1
+                or a.shape[varying[0]] != iters_shape[varying[0]]
+                or varying[0] in seen
+            ):
+                return None
+            seen.add(varying[0])
+            axes.append(varying[0])
+            lists.append(a.reshape(-1))
+        else:
+            return None
+    leftover = [ax for ax in range(d) if ax not in seen]
+    if any(iters_shape[ax] > 1 for ax in leftover):
+        return None  # an unconsumed iteration axis would collide writes
+    perm = tuple([ax for ax in axes if ax is not None] + leftover)
+    dims = local_positions(array, lists)
+    return np.ix_(*dims), perm, tuple(x.size for x in dims)
+
+
+def local_positions(dims_owner, lists: list[np.ndarray]) -> list[np.ndarray]:
+    """Translate per-dim global index lists into local-block index lists.
+
+    ``dims_owner`` is anything exposing ``dim(k)`` bound distributions
+    (an array or a :class:`~repro.lang.dist.Distribution`); translation
+    is rank-independent for every supported distribution.  The one
+    shared helper for the read side, the write side, and repartition.
+    """
+    return [
+        np.asarray(dims_owner.dim(k).local_index(g), dtype=np.int64)
+        for k, g in enumerate(lists)
+    ]

@@ -1,48 +1,68 @@
-"""Cached communication schedules for irregular gathers.
+"""The bidirectional TransferSchedule subsystem: cached communication
+schedules for gathers, scatters, and repartitions.
 
 The inspector/executor protocol of :mod:`repro.compiler.inspector` pays
 for *two* message rounds on every call: one to tell the owners what is
 needed, one for the owners to reply.  When the index pattern is
 loop-invariant across ``doall`` sweeps -- the common case for irregular
 solvers and the exact amortization the PARTI lineage exploits -- the
-first round only ever needs to run once.  This module turns its result
-into a first-class object:
+first round only ever needs to run once.  PR 1 turned the *read* side of
+that observation into a first-class object; this module generalizes it
+into one bidirectional abstraction used by every communication layer:
 
-* :class:`GatherSchedule` -- one rank's compiled share of a collective
-  gather: precomputed permutation arrays mapping each owner's reply into
-  the output, precomputed local-block coordinates for every outgoing
-  coalesced value message, and the epoch of the array distribution it
-  was built against;
-* :func:`build_gather_schedule` -- the one-time inspection phase.  It
-  runs the same two-round protocol as ``inspector_gather`` (so the build
-  sweep costs no more than an uncached sweep) while recording the
-  schedule, and returns ``(schedule, values)``;
-* :func:`execute_gather` -- the vectorized executor.  Replaying a
-  schedule sends only the non-empty per-owner value messages (a single
-  bulk numpy gather each) and skips the request round entirely:
-  at least 2x fewer messages per sweep than a fresh inspection, with
-  bit-identical results;
-* :class:`ScheduleCache` -- a keyed store (array identity + distribution
-  epoch + index-pattern fingerprint) so repeated calls with an unchanged
-  pattern transparently reuse the schedule.  Redistribution bumps the
-  array's ``comm_epoch`` (see ``BaseDistArray.invalidate_schedules``),
-  which invalidates every schedule built against the old layout.
+* :class:`TransferSchedule` -- one rank's compiled share of a collective
+  data transfer.  A schedule is a set of precomputed *moves*: outgoing
+  coalesced messages (peer + source-side index arrays), incoming ones
+  (peer + destination-side index arrays), and an optional local move.
+  The ``direction`` field says how the index arrays are interpreted:
 
-The cached gather is **collective**: like the underlying protocol, every
-rank of the grid must call it, and all ranks must keep or change their
-index patterns together (SPMD discipline).  If ranks diverge -- some
-replaying, some rebuilding -- the simulator detects the mismatched
-protocols (deadlock or unconsumed messages) rather than computing wrong
-answers silently.
+  - ``"gather"``: sources are local-block coordinates on the owners,
+    destinations are positions in the requester's output vector;
+  - ``"scatter"``: sources are positions in the writer's flat value
+    vector, destinations are local-block coordinates on the owners
+    (the write side of a doall loop, see :mod:`repro.compiler.commgen`);
+  - ``"repartition"``: sources are old-layout local-block boxes,
+    destinations are new-layout local-block boxes (the owner-to-owner
+    relayout behind ``DistArray.redistribute``);
+
+* :func:`execute_transfer` -- the one vectorized executor all three
+  directions replay through: post the precomputed coalesced sends, do
+  the local move, scatter incoming messages through the precomputed
+  index arrays.  No request round, no index lists on the wire;
+
+* :func:`build_gather_schedule` -- the one-time inspection phase for
+  gathers.  It runs the same two-round protocol as ``inspector_gather``
+  (so the build sweep costs no more than an uncached sweep) while
+  recording the schedule, and returns ``(schedule, values)``;
+
+* :func:`build_repartition_schedule` -- the static builder for
+  repartitions.  Owner-to-owner moves are fully derivable from the two
+  layouts (no inspection round at all): each rank sends only the
+  intersections of its old block with the new owners' blocks;
+
+* :class:`ScheduleCache` -- a keyed store of transfer schedules with
+  per-direction hit/miss accounting.  Gather schedules key on array
+  identity + distribution epoch + index-pattern fingerprint; repartition
+  schedules key on the (from-layout, to-layout) spec pair -- *not* the
+  epoch -- so repeated layout flips (ADI's row/column sweeps) replay the
+  same schedules forever.
+
+Cached transfers are **collective**: every rank of the grid must call
+them, and all ranks must keep or change their patterns together (SPMD
+discipline).  If ranks diverge -- some replaying, some rebuilding -- the
+simulator detects the mismatched protocols (deadlock or unconsumed
+messages) rather than computing wrong answers silently.
 
 Replays are announced to the trace with ``Mark("commsched/hit")`` /
-``Mark("commsched/miss")`` events; see
-:meth:`repro.machine.trace.Trace.schedule_counts` for reuse reporting.
+``Mark("commsched/miss")`` events whose payload leads with the transfer
+direction; see :meth:`repro.machine.trace.Trace.schedule_counts` for
+per-direction reuse reporting.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 from collections import OrderedDict
 
 import numpy as np
@@ -51,12 +71,14 @@ from repro.compiler.inspector import (
     local_locations,
     normalize_indices,
     partition_requests,
-    read_local,
 )
 from repro.lang.array import BaseDistArray
 from repro.lang.procs import ProcessorGrid
-from repro.machine.ops import Mark, Recv, Send
+from repro.machine.ops import Barrier, Mark, Recv, Send
 from repro.util.errors import ValidationError
+
+#: Transfer directions understood by the subsystem.
+DIRECTIONS = ("gather", "scatter", "repartition")
 
 
 def index_fingerprint(indices: np.ndarray) -> str:
@@ -88,14 +110,39 @@ def schedule_key(
     )
 
 
-class GatherSchedule:
-    """One rank's compiled communication schedule for a collective gather.
+def repartition_key(array: BaseDistArray, new_dist, rank: int) -> tuple:
+    """Cache key of one rank's share of a collective repartition.
 
-    Produced by :func:`build_gather_schedule`; replayed (any number of
-    times, against current array values) by :func:`execute_gather`.
+    Deliberately keyed on the *(from-layout, to-layout)* spec pair
+    instead of the comm epoch: a repartition schedule describes a layout
+    transition, so it stays valid every time the array is again in the
+    ``from`` layout -- which is exactly what makes repeated layout flips
+    (block -> cyclic -> block -> ...) pure cache hits.
+    """
+    return (
+        "repartition",
+        array.uid,
+        array.grid.key(),
+        array.dist.spec_key(),
+        new_dist.spec_key(),
+        rank,
+    )
+
+
+class TransferSchedule:
+    """One rank's compiled communication schedule for a collective
+    transfer (gather, scatter, or repartition).
+
+    ``sends`` pairs a destination rank with *source-side* index arrays
+    (what to read before sending); ``recvs`` pairs a source rank with
+    *destination-side* index arrays (where to store the incoming
+    values); ``self_src``/``self_dst`` describe the message-free local
+    move.  :func:`execute_transfer` replays any direction against
+    caller-supplied ``read``/``write`` functions.
     """
 
     __slots__ = (
+        "direction",
         "key",
         "group",
         "uid_chain",
@@ -104,14 +151,20 @@ class GatherSchedule:
         "n_out",
         "epoch",
         "fingerprint",
-        "self_locs",
-        "self_pos",
-        "recv_from",
-        "send_to",
+        "from_spec",
+        "to_spec",
+        "self_src",
+        "self_dst",
+        "sends",
+        "recvs",
     )
 
-    def __init__(self, key, rank: int, grid: ProcessorGrid, n_out: int,
-                 epoch: int, fingerprint: str, group=None, uid_chain=()):
+    def __init__(self, direction: str, key=None, rank: int = -1, grid=None,
+                 n_out: int = 0, epoch: int | None = None, fingerprint: str = "",
+                 group=None, uid_chain=(), from_spec=None, to_spec=None):
+        if direction not in DIRECTIONS:
+            raise ValidationError(f"unknown transfer direction {direction!r}")
+        self.direction = direction
         self.key = key
         #: identity of the collective build this schedule came from; all
         #: ranks of one build share it (the build tag is SPMD-identical),
@@ -123,27 +176,77 @@ class GatherSchedule:
         self.rank = rank
         self.grid = grid
         self.n_out = n_out
+        #: comm epoch the schedule was built against; None for epoch-
+        #: independent schedules (repartitions pin layouts via specs).
         self.epoch = epoch
         self.fingerprint = fingerprint
-        #: local-block coordinates of the elements this rank both wants
-        #: and owns, with their positions in the output (no message).
-        self.self_locs: tuple[np.ndarray, ...] | None = None
-        self.self_pos: np.ndarray | None = None
-        #: (src rank, output positions) per non-empty incoming reply.
-        self.recv_from: list[tuple[int, np.ndarray]] = []
-        #: (dst rank, local-block coordinates) per non-empty outgoing
-        #: coalesced value message.
-        self.send_to: list[tuple[int, tuple[np.ndarray, ...]]] = []
+        #: layout transition (repartition only): Distribution spec keys.
+        self.from_spec = from_spec
+        self.to_spec = to_spec
+        #: local move: source-side and destination-side index arrays.
+        self.self_src = None
+        self.self_dst = None
+        #: (dst rank, source-side index arrays) per outgoing message.
+        self.sends: list[tuple[int, object]] = []
+        #: (src rank, destination-side index arrays) per incoming message.
+        self.recvs: list[tuple[int, object]] = []
 
     def replay_message_count(self) -> int:
         """Messages this rank sends+receives per replay sweep."""
-        return len(self.send_to) + len(self.recv_from)
+        return len(self.sends) + len(self.recvs)
+
+    def check_replayable(self, array: BaseDistArray) -> None:
+        """Refuse to replay against an array whose layout moved on."""
+        if self.epoch is not None and self.epoch != array.comm_epoch:
+            raise ValidationError(
+                f"stale {self.direction} schedule: the array was "
+                f"redistributed (schedule epoch {self.epoch}, array epoch "
+                f"{array.comm_epoch}); rebuild via the builder or a "
+                "ScheduleCache"
+            )
+        if self.from_spec is not None and getattr(array, "dist", None) is not None \
+                and array.dist.spec_key() != self.from_spec:
+            raise ValidationError(
+                f"stale {self.direction} schedule: the array is no longer "
+                f"in the schedule's source layout {self.from_spec!r}"
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"GatherSchedule(rank={self.rank}, n_out={self.n_out}, "
-            f"sends={len(self.send_to)}, recvs={len(self.recv_from)})"
+            f"TransferSchedule({self.direction}, rank={self.rank}, "
+            f"n_out={self.n_out}, sends={len(self.sends)}, "
+            f"recvs={len(self.recvs)})"
         )
+
+
+#: Backwards-compatible name: PR 1's gather schedule is a
+#: direction="gather" TransferSchedule.
+GatherSchedule = TransferSchedule
+
+
+def execute_transfer(ctx, sched: TransferSchedule, read, write,
+                     tag=None, kind: str = "val"):
+    """Replay any transfer schedule through ``read``/``write`` callables.
+
+    ``read(idx)`` must return the values at source-side index arrays
+    ``idx``; ``write(idx, values)`` must store values at destination-side
+    index arrays.  The executor posts all precomputed coalesced sends,
+    performs the local move, then consumes incoming messages in schedule
+    order.  Collective over the schedule's peer set; yields machine ops.
+    """
+    me = ctx.rank
+    for dst, src_idx in sched.sends:
+        yield Send(dst, read(src_idx), tag=(tag, kind, me))
+    if sched.self_src is not None:
+        write(sched.self_dst, read(sched.self_src))
+    for src, dst_idx in sched.recvs:
+        values = yield Recv(src=src, tag=(tag, kind, src))
+        write(dst_idx, values)
+
+
+# ----------------------------------------------------------------------
+# Gather direction: inspector -> schedule -> executor
+# ----------------------------------------------------------------------
 
 
 def build_gather_schedule(
@@ -153,7 +256,7 @@ def build_gather_schedule(
     indices: np.ndarray | None,
     tag=None,
 ):
-    """One-time inspection: build this rank's :class:`GatherSchedule`.
+    """One-time inspection: build this rank's gather TransferSchedule.
 
     Runs the same collective two-round protocol as ``inspector_gather``
     (every rank must call this), recording who-needs-what-from-whom.
@@ -169,12 +272,8 @@ def build_gather_schedule(
     members = grid.linear
 
     indices = normalize_indices(array, indices)
-    uid_chain = []
-    a = array
-    while a is not None:
-        uid_chain.append(a.uid)
-        a = getattr(a, "base", None)
-    sched = GatherSchedule(
+    sched = TransferSchedule(
+        "gather",
         key=schedule_key(grid, array, indices, me),
         rank=me,
         grid=grid,
@@ -185,7 +284,7 @@ def build_gather_schedule(
         # per-grid tag counters restart and would otherwise collide
         group=(array.uid, array.comm_epoch, grid.key(),
                getattr(ctx, "run_id", None), tag),
-        uid_chain=tuple(uid_chain),
+        uid_chain=uid_chain(array),
     )
 
     # --- round 1: send requests to owners -------------------------------
@@ -215,7 +314,7 @@ def build_gather_schedule(
             )
         if req.shape[0]:
             locs = local_locations(array, req)
-            sched.send_to.append((q, locs))
+            sched.sends.append((q, locs))
             values = np.asarray(array.local(me)[locs])
         else:
             values = np.empty(0, dtype=array.dtype)
@@ -224,21 +323,31 @@ def build_gather_schedule(
     # --- round 2: receive replies, record the permutation arrays --------
     out = np.empty(indices.shape[0], dtype=array.dtype)
     if requests[me].shape[0]:
-        sched.self_locs = local_locations(array, requests[me])
-        sched.self_pos = order[me]
-        out[sched.self_pos] = np.asarray(array.local(me)[sched.self_locs])
+        sched.self_src = local_locations(array, requests[me])
+        sched.self_dst = order[me]
+        out[sched.self_dst] = np.asarray(array.local(me)[sched.self_src])
     for q in members:
         if q == me:
             continue
         values = yield Recv(src=q, tag=(tag, "rep", q))
         if order[q].size:
-            sched.recv_from.append((q, order[q]))
+            sched.recvs.append((q, order[q]))
             out[order[q]] = values
     return sched, out
 
 
-def execute_gather(ctx, sched: GatherSchedule, array: BaseDistArray, tag=None):
-    """Replay a schedule against the array's *current* values.
+def uid_chain(array: BaseDistArray) -> tuple:
+    """uids of ``array`` and every base beneath it (section chains)."""
+    chain = []
+    a = array
+    while a is not None:
+        chain.append(a.uid)
+        a = getattr(a, "base", None)
+    return tuple(chain)
+
+
+def execute_gather(ctx, sched: TransferSchedule, array: BaseDistArray, tag=None):
+    """Replay a gather schedule against the array's *current* values.
 
     The fast path: owners bulk-gather their precomputed local locations
     (one vectorized fancy-index read and one coalesced message per
@@ -248,12 +357,7 @@ def execute_gather(ctx, sched: GatherSchedule, array: BaseDistArray, tag=None):
     values a fresh ``inspector_gather`` with the original indices would
     return.
     """
-    if sched.epoch != array.comm_epoch:
-        raise ValidationError(
-            "stale gather schedule: the array was redistributed "
-            f"(schedule epoch {sched.epoch}, array epoch {array.comm_epoch}); "
-            "rebuild via build_gather_schedule or a ScheduleCache"
-        )
+    sched.check_replayable(array)
     me = ctx.rank
     if me != sched.rank:
         raise ValidationError(
@@ -262,16 +366,164 @@ def execute_gather(ctx, sched: GatherSchedule, array: BaseDistArray, tag=None):
     if tag is None:
         tag = ctx.next_tag(sched.grid)
 
-    for dst, locs in sched.send_to:
-        yield Send(dst, np.asarray(array.local(me)[locs]), tag=(tag, "val", me))
-
     out = np.empty(sched.n_out, dtype=array.dtype)
-    if sched.self_pos is not None:
-        out[sched.self_pos] = np.asarray(array.local(me)[sched.self_locs])
-    for src, pos in sched.recv_from:
-        values = yield Recv(src=src, tag=(tag, "val", src))
-        out[pos] = values
+    yield from execute_transfer(
+        ctx,
+        sched,
+        read=lambda locs: np.asarray(array.local(me)[locs]),
+        write=out.__setitem__,
+        tag=tag,
+    )
     return out
+
+
+# ----------------------------------------------------------------------
+# Repartition direction: owner-to-owner relayout
+# ----------------------------------------------------------------------
+
+
+def _check_repartitionable(array) -> None:
+    """Repartition needs a whole DistArray: a layout of its own plus the
+    staging/commit hooks.  Sections inherit their base array's layout --
+    redistribute the base and take a fresh slice instead."""
+    if getattr(array, "dist", None) is None or not hasattr(array, "_stage_repartition"):
+        raise ValidationError(
+            f"cannot repartition {array.name!r}: only whole DistArrays "
+            "carry a redistributable layout (redistribute the base array "
+            "and re-slice any sections of it)"
+        )
+
+
+def repartition_pieces(array, new_dist, rank: int | None = None):
+    """Owner-to-owner moves realizing a relayout of ``array``.
+
+    Yields ``(src, dst, src_locs, dst_locs)`` tuples: the values at
+    old-layout local box ``src_locs`` of rank ``src`` land at new-layout
+    local box ``dst_locs`` of rank ``dst``.  The moves partition the
+    whole array (every element moves exactly once per destination), so
+    no global materialization is ever needed -- each rank sends only the
+    intersections of its old block with the new owners' blocks.
+
+    When ``rank`` is given, only the pieces involving that rank (as
+    source or destination) are derived and yielded -- the per-rank
+    schedule build needs O(P) intersections, not the full P^2
+    enumeration the host-side relayout uses.
+
+    Because per-dimension ownership is independent, every intersection
+    is a box product of per-dimension index-list intersections -- the
+    same machinery the doall read analysis uses.
+    """
+    from repro.compiler.access import intersect_lists
+    from repro.compiler.commgen import local_positions
+
+    grid = array.grid
+    old = array.dist
+    ranks = grid.linear
+
+    owned_cache: dict[tuple, list] = {}
+
+    def owned(dist, r):
+        key = (id(dist), r)
+        if key not in owned_cache:
+            owned_cache[key] = dist.owned_lists(grid.coords_of(r))
+        return owned_cache[key]
+
+    def locs(dist, lists):
+        return np.ix_(*local_positions(dist, lists))
+
+    if old.replicated:
+        # every rank already stores the full array: the relayout is a
+        # message-free local re-slicing on each destination
+        for dst in ranks if rank is None else (rank,):
+            box = owned(new_dist, dst)
+            yield dst, dst, locs(old, box), locs(new_dist, box)
+        return
+
+    if rank is None:
+        pairs = ((src, dst) for dst in ranks for src in ranks)
+    else:
+        pairs = itertools.chain(
+            ((src, rank) for src in ranks),
+            ((rank, dst) for dst in ranks if dst != rank),
+        )
+    for src, dst in pairs:
+        inter = intersect_lists(owned(new_dist, dst), owned(old, src))
+        if inter is None:
+            continue
+        yield src, dst, locs(old, inter), locs(new_dist, inter)
+
+
+def build_repartition_schedule(array, new_dist, rank: int, group=None) -> TransferSchedule:
+    """Build one rank's repartition TransferSchedule (static, no messages).
+
+    Unlike gathers, repartitions need no inspection round: both layouts
+    are globally known, so every rank derives its own sends, receives,
+    and local move deterministically.  Build and replay therefore have
+    identical wire behavior -- caching saves the derivation work, not a
+    protocol round.
+    """
+    _check_repartitionable(array)
+    sched = TransferSchedule(
+        "repartition",
+        key=repartition_key(array, new_dist, rank),
+        rank=rank,
+        grid=array.grid,
+        epoch=None,
+        from_spec=array.dist.spec_key(),
+        to_spec=new_dist.spec_key(),
+        group=group,
+        uid_chain=uid_chain(array),
+    )
+    for src, dst, src_locs, dst_locs in repartition_pieces(array, new_dist, rank=rank):
+        if src == rank and dst == rank:
+            sched.self_src = src_locs
+            sched.self_dst = dst_locs
+        elif src == rank:
+            sched.sends.append((dst, src_locs))
+        elif dst == rank:
+            sched.recvs.append((src, dst_locs))
+    return sched
+
+
+def execute_repartition(ctx, array, sched: TransferSchedule, new_dist, tag=None):
+    """Collective executor of one rank's share of a repartition.
+
+    Sends this rank's old-block intersections (snapshotted by the Send
+    op), assembles the rank's new-layout block from the local move and
+    incoming messages, then commits the relayout through the array's
+    staging protocol: the layout swap (and the comm-epoch bump that
+    invalidates gather schedules and doall plans) happens exactly once,
+    after a commit barrier guarantees every rank has finished reading
+    its old block.  Every rank of ``array.grid`` must call this.
+    """
+    sched.check_replayable(array)
+    me = ctx.rank
+    if tag is None:
+        tag = ctx.next_tag(array.grid)
+    old_block = array.local(me)
+    coords = array.grid.coords_of(me)
+    new_block = np.zeros(new_dist.local_shape(coords), dtype=array.dtype)
+
+    yield from execute_transfer(
+        ctx,
+        sched,
+        read=lambda locs: np.ascontiguousarray(old_block[locs]),
+        write=new_block.__setitem__,
+        tag=tag,
+    )
+
+    # the staging token identifies this collective call: the run id
+    # guards against tag reuse across launches, the tag against a rank
+    # racing into the next repartition before slower ranks commit this one
+    token = (getattr(ctx, "run_id", None), tag)
+    array._stage_repartition(me, new_block, token)
+    yield Barrier(group=tuple(array.grid.linear), tag=(tag, "commit"))
+    array._commit_repartition(new_dist, token)
+
+
+# ----------------------------------------------------------------------
+# Cache
+# ----------------------------------------------------------------------
 
 
 class _CallDecision:
@@ -284,6 +536,9 @@ class _CallDecision:
     protocol mismatch).  The first rank to arrive fixes the verdict for
     everyone; schedules evicted while a hit verdict is outstanding are
     retained here until every rank has consumed it.
+
+    Repartitions need no decision: their build and replay paths have
+    identical wire behavior, so mixed hit/miss across ranks is harmless.
     """
 
     __slots__ = ("kind", "group", "retained", "consumed", "expect")
@@ -291,32 +546,34 @@ class _CallDecision:
     def __init__(self, kind: str, group, expect: int):
         self.kind = kind  # "hit" | "miss"
         self.group = group
-        self.retained: dict[int, GatherSchedule] = {}
+        self.retained: dict[int, TransferSchedule] = {}
         self.consumed = 0
         self.expect = expect
 
 
 class ScheduleCache:
-    """Keyed store of gather schedules with hit/miss accounting.
+    """Keyed store of transfer schedules with per-direction accounting.
 
     One cache is shared by all simulated ranks (the schedules themselves
     are per-rank; the key includes the rank).  Beyond ``max_entries``
     the least-recently-used entries are evicted -- in whole
     per-collective *groups* (every rank's schedule from one build goes
     together), never one rank at a time.  Whether a given collective
-    call replays or rebuilds is decided once, by the first rank to reach
-    the call, and applied to every rank of that call (see
+    gather call replays or rebuilds is decided once, by the first rank
+    to reach the call, and applied to every rank of that call (see
     :class:`_CallDecision`), so cache mutations between two ranks'
     lookups can never split a collective into mixed replay/rebuild.
-    Stale entries from redistributed arrays simply never hit again
-    because the key embeds the comm epoch.
+    Stale gather entries from redistributed arrays simply never hit
+    again because their key embeds the comm epoch; repartition entries
+    key on the layout-spec pair instead and survive redistribution by
+    design (that is their reuse story).
     """
 
     def __init__(self, max_entries: int = 256):
         if max_entries <= 0:
             raise ValidationError("ScheduleCache needs max_entries >= 1")
         self.max_entries = max_entries
-        self._entries: dict[tuple, GatherSchedule] = {}
+        self._entries: dict[tuple, TransferSchedule] = {}
         # group id -> keys of that collective build, LRU-ordered by the
         # group's most recent touch (hits refresh the whole group)
         self._groups: OrderedDict[tuple, set] = OrderedDict()
@@ -331,14 +588,24 @@ class ScheduleCache:
         # a subset of its ranks (a later identical call would then split
         # into hit-on-some / miss-on-others).  Cleared on run change.
         self._tombstones: set = set()
+        # array uid -> comm epoch this cache last purged stale entries
+        # for (repartition runs the purge once per collective)
+        self._purged_epochs: dict[int, int] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: per-direction hit/miss counters, e.g. ``{"gather": {"hits": 3,
+        #: "misses": 1}}``
+        self.by_direction: dict[str, dict[str, int]] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def store(self, sched: GatherSchedule) -> None:
+    def _count(self, direction: str, outcome: str) -> None:
+        d = self.by_direction.setdefault(direction, {"hits": 0, "misses": 0})
+        d[outcome] += 1
+
+    def store(self, sched: TransferSchedule) -> None:
         if sched.group in self._tombstones:
             return  # group already evicted; a partial re-insert diverges
         old = self._entries.get(sched.key)
@@ -367,7 +634,7 @@ class ScheduleCache:
                 if decision.kind == "hit" and decision.group == group:
                     decision.retained[sched.rank] = sched
 
-    def _discard_from_group(self, sched: GatherSchedule) -> None:
+    def _discard_from_group(self, sched: TransferSchedule) -> None:
         members = self._groups.get(sched.group)
         if members is not None:
             members.discard(sched.key)
@@ -375,10 +642,15 @@ class ScheduleCache:
                 del self._groups[sched.group]
 
     def invalidate_array(self, array: BaseDistArray) -> int:
-        """Drop every schedule built for ``array`` -- including schedules
-        built on sections of it -- and return the count."""
+        """Drop every layout-dependent schedule built for ``array`` --
+        including schedules built on sections of it -- and return the
+        count.  Repartition schedules are layout *transitions* keyed on
+        their spec pair, not on the live layout, so they survive: they
+        are exactly what makes the next flip back a cache hit.
+        """
         doomed = [
-            k for k, s in self._entries.items() if array.uid in s.uid_chain
+            k for k, s in self._entries.items()
+            if array.uid in s.uid_chain and s.direction != "repartition"
         ]
         for k in doomed:
             self._discard_from_group(self._entries.pop(k))
@@ -390,9 +662,11 @@ class ScheduleCache:
         self._decisions.clear()
         self._decisions_run = None
         self._tombstones.clear()
+        self._purged_epochs.clear()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.by_direction = {}
 
     def stats(self) -> dict[str, int]:
         return {
@@ -401,6 +675,10 @@ class ScheduleCache:
             "misses": self.misses,
             "evictions": self.evictions,
         }
+
+    def direction_stats(self) -> dict[str, dict[str, int]]:
+        """Per-direction hit/miss counters (directions seen so far)."""
+        return {d: dict(v) for d, v in self.by_direction.items()}
 
     # ------------------------------------------------------------------
 
@@ -458,6 +736,7 @@ class ScheduleCache:
                     "must keep or change their patterns together)"
                 )
             self.hits += 1
+            self._count("gather", "hits")
             if sched.group in self._groups:
                 self._groups.move_to_end(sched.group)
             self._consume(call_id, decision)
@@ -469,6 +748,7 @@ class ScheduleCache:
             return result
 
         self.misses += 1
+        self._count("gather", "misses")
         self._consume(call_id, decision)
         yield Mark(
             "commsched/miss",
@@ -479,6 +759,59 @@ class ScheduleCache:
         )
         self.store(sched)
         return values
+
+    def repartition(self, ctx, array, dist):
+        """Collective cached repartition (generator; use ``yield from``).
+
+        Re-lays ``array`` out under ``dist`` with owner-to-owner
+        messages only, building (miss) or replaying (hit) this rank's
+        repartition schedule.  Because build and replay have identical
+        wire behavior, the verdict is per-rank -- no collective decision
+        protocol is needed.  Every rank of ``array.grid`` must call
+        this; the layout swap commits once, behind a barrier.
+        """
+        from repro.lang.dist import Distribution
+
+        _check_repartitionable(array)
+        new_dist = Distribution(dist, array.shape, array.grid.shape)
+        me = ctx.rank
+        tag = ctx.next_tag(array.grid)
+        key = repartition_key(array, new_dist, me)
+        label = f"{array.dist.spec_key()}->{new_dist.spec_key()}"
+        sched = self._entries.get(key)
+        if sched is not None:
+            self.hits += 1
+            self._count("repartition", "hits")
+            if sched.group in self._groups:
+                self._groups.move_to_end(sched.group)
+            yield Mark("commsched/hit", payload=("repartition", array.name, label))
+        else:
+            self.misses += 1
+            self._count("repartition", "misses")
+            yield Mark("commsched/miss", payload=("repartition", array.name, label))
+            sched = build_repartition_schedule(
+                array, new_dist, me,
+                # one group per collective call: run id + tag identify it
+                group=(array.uid, array.grid.key(), sched_group_specs(array, new_dist),
+                       getattr(ctx, "run_id", None), tag),
+            )
+            self.store(sched)
+        yield from execute_repartition(ctx, array, sched, new_dist, tag=tag)
+        # this cache just watched the layout change: purge its own
+        # orphaned layout-dependent schedules (their keys embed the old
+        # epoch, so they could never hit again -- this stops the leak).
+        # The commit already purged the default cache and doall plans,
+        # and the scan runs once per collective, not once per rank.
+        if self is not DEFAULT_CACHE:
+            epoch = array.comm_epoch  # post-commit epoch
+            if self._purged_epochs.get(array.uid) != epoch:
+                self._purged_epochs[array.uid] = epoch
+                self.invalidate_array(array)
+
+
+def sched_group_specs(array, new_dist) -> tuple:
+    """Group-identity component for a repartition collective."""
+    return (array.dist.spec_key(), new_dist.spec_key())
 
 
 #: Default process-wide cache used by :func:`cached_inspector_gather`.
@@ -503,6 +836,17 @@ def cached_inspector_gather(ctx, grid, array, indices, cache: ScheduleCache | No
     )
 
 
+def cached_repartition(ctx, array, dist, cache: ScheduleCache | None = None):
+    """Cached collective repartition through the default cache.
+
+    See :meth:`ScheduleCache.repartition`.  Generator; ``yield from`` it
+    on every rank of ``array.grid``.
+    """
+    return (cache if cache is not None else DEFAULT_CACHE).repartition(
+        ctx, array, dist
+    )
+
+
 def clear_schedule_cache() -> None:
-    """Reset the default gather-schedule cache (mostly for tests)."""
+    """Reset the default transfer-schedule cache (mostly for tests)."""
     DEFAULT_CACHE.clear()

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.compiler.commgen import LoopAnalysis
 from repro.compiler.schedule import get_analysis
 from repro.lang.doall import Doall
 from repro.machine.costmodel import CostModel
@@ -126,8 +125,16 @@ def estimate_doall(loop: Doall) -> LoopEstimate:
                 est.msgs_in += 1
                 est.bytes_in += _lists_nbytes(lists, itemsize)
         for stmt_idx, sa in enumerate(analysis.stmts):
-            wplan = analysis.write_plans[stmt_idx][rank]
-            est.msgs_out += len(wplan.send_ranks)
-            est.msgs_in += wplan.recv_count
+            # the frozen scatter schedule makes the write side exactly
+            # predictable: remote-write messages carry values only
+            ts = analysis.write_plans[stmt_idx][rank].transfer
+            if ts is not None:
+                itemsize = sa.lhs_array.dtype.itemsize
+                for _dst, sel in ts.sends:
+                    est.msgs_out += 1
+                    est.bytes_out += int(sel.size) * itemsize
+                for _src, locs in ts.recvs:
+                    est.msgs_in += 1
+                    est.bytes_in += int(locs[0].size) * itemsize
         out.per_rank.append(est)
     return out

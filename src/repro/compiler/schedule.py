@@ -8,10 +8,17 @@ one rank's share of the loop:
 2. receive ghost regions into a workspace indexed by the needed lists;
 3. evaluate all statement right-hand sides vectorized over the local
    iteration box (one Compute op charges the flop count);
-4. apply local writes; exchange and apply remote writes (scatter).
+4. replay each statement's frozen scatter
+   :class:`~repro.compiler.commsched.TransferSchedule`: local stores and
+   outgoing remote-write messages read the flat value vector through
+   precomputed selection arrays, incoming messages (values only, no
+   index lists on the wire) land through precomputed local-block
+   coordinates.
 
 Analyses are cached by structural loop key, so loops re-executed every
-iteration (the common case) compile once.
+iteration (the common case) compile once; both the read-side gather
+plans and the write-side scatter plans replay from the cached analysis
+without re-deriving any index list.
 """
 
 from __future__ import annotations
@@ -23,9 +30,10 @@ import numpy as np
 
 from repro.compiler import access as acc
 from repro.compiler.commgen import LoopAnalysis
+from repro.compiler.commsched import execute_transfer
 from repro.lang.doall import Doall
 from repro.lang.expr import BinOp, Const, Ref
-from repro.machine.ops import ANY, Compute, Mark, Recv, Send
+from repro.machine.ops import Compute, Mark, Recv, Send
 from repro.util.errors import CompileError
 
 # LRU-bounded: plan keys embed each array's comm_epoch, so a
@@ -135,10 +143,15 @@ def execute_doall(ctx, loop: Doall):
     analysis, reused = get_analysis(loop)
     tag = ctx.next_tag(loop.grid)
     iters = analysis.iters[me]
-    yield Mark(
-        "commsched/hit" if reused else "commsched/build",
-        payload=("doall", ",".join(v.name for v in loop.vars)),
-    )
+    kind = "commsched/hit" if reused else "commsched/build"
+    yield Mark(kind, payload=("doall", ",".join(v.name for v in loop.vars)))
+    if analysis.has_remote_writes:
+        # the loop's remote-write scatter schedules replay (or compile)
+        # together with the plan; announce them under their own
+        # direction so per-direction reuse reporting sees the write side
+        yield Mark(kind, payload=("scatter", ",".join(
+            sa.lhs_array.name for sa in analysis.stmts
+        )))
 
     # ---- phase 1: ghost sends (pre-write snapshots) ----------------------
     # The frozen ReadPlan schedules turn each send into one bulk gather.
@@ -174,65 +187,76 @@ def execute_doall(ctx, loop: Doall):
             label=f"doall[{','.join(v.name for v in loop.vars)}]",
         )
 
-    remote_payloads: list[tuple[int, tuple, Any]] = []
-    for stmt_idx, sa in enumerate(analysis.stmts):
-        wplan = analysis.write_plans[stmt_idx][me]
+    stmt_vals: list[np.ndarray | None] = []
+    for sa in analysis.stmts:
         if n_points:
             values = _eval_expr(sa.stmt.rhs, workspaces, iters)
-            values = np.broadcast_to(np.asarray(values, dtype=sa.lhs_array.dtype),
-                                     iters.shape())
-            idx_arrays = sa.lhs_index_arrays(iters)
-            full_idx = [
-                np.broadcast_to(np.asarray(a), iters.shape()).reshape(-1)
-                for a in idx_arrays
-            ]
-            flat_vals = values.reshape(-1)
-            if analysis.writes_local and wplan.all_local:
-                owners_mask = None
-            else:
-                owners = sa.lhs_array.owner_ranks_vec(tuple(idx_arrays))
-                owners = np.broadcast_to(owners, iters.shape()).reshape(-1)
-                owners_mask = owners
-            if owners_mask is None:
-                mine = slice(None)
-                _store_local(sa.lhs_array, me, full_idx, flat_vals, mine)
-            else:
-                mine = owners_mask == me
-                if np.any(mine):
-                    _store_local(sa.lhs_array, me, full_idx, flat_vals, mine)
-                for dst in sorted(set(int(d) for d in np.unique(owners_mask)) - {me}):
-                    sel = owners_mask == dst
-                    payload = (
-                        [g[sel] for g in full_idx],
-                        flat_vals[sel],
-                    )
-                    remote_payloads.append(
-                        (dst, (tag, "wr", stmt_idx), payload)
-                    )
+            stmt_vals.append(
+                np.broadcast_to(
+                    np.asarray(values, dtype=sa.lhs_array.dtype), iters.shape()
+                )
+            )
+        else:
+            stmt_vals.append(None)
 
-    # ---- phase 4: remote-write exchange -----------------------------------
-    for dst, wtag, payload in remote_payloads:
-        yield Send(dst, payload, tag=wtag)
+    # ---- phase 4: scatter-schedule replay ---------------------------------
+    # All-local statements store through their frozen open-mesh box (or
+    # per-sweep flat coordinates when not box-decomposable); statements
+    # with remote writes replay their frozen scatter TransferSchedule:
+    # local stores and outgoing messages read the flat value vector
+    # through precomputed selection arrays, incoming messages (values
+    # only, no index lists) land through precomputed local-block
+    # coordinates.
     for stmt_idx, sa in enumerate(analysis.stmts):
         wplan = analysis.write_plans[stmt_idx][me]
-        for _ in range(wplan.recv_count):
-            lists, values = yield Recv(src=ANY, tag=(tag, "wr", stmt_idx))
-            _store_remote(sa.lhs_array, me, lists, values)
+        values = stmt_vals[stmt_idx]
+        if analysis.writes_local:
+            if values is None:
+                continue
+            if wplan.local_box is not None:
+                locs, perm, shape = wplan.local_box
+                sa.lhs_array.local(me)[locs] = values.transpose(perm).reshape(shape)
+            else:
+                _flat_local_store(sa, iters, me, values)
+            continue
+        sched = wplan.transfer
+        if sched is None:
+            continue
+        yield from execute_transfer(
+            ctx,
+            sched,
+            read=_reader(None if values is None else values.reshape(-1)),
+            write=_writer(sa.lhs_array, me),
+            tag=tag,
+            kind=f"wr{stmt_idx}",
+        )
 
 
-def _store_local(array, rank, full_idx, flat_vals, sel) -> None:
-    block = array.local(rank)
+def _flat_local_store(sa, iters, rank: int, values: np.ndarray) -> None:
+    """Per-sweep fallback for non-box-decomposable all-local writes."""
+    array = sa.lhs_array
+    idx_arrays = sa.lhs_index_arrays(iters)
+    full_idx = [
+        np.broadcast_to(np.asarray(a), values.shape).reshape(-1)
+        for a in idx_arrays
+    ]
     locs = tuple(
-        np.asarray(array.dim(k).local_index(full_idx[k][sel]), dtype=np.int64)
+        np.asarray(array.dim(k).local_index(full_idx[k]), dtype=np.int64)
         for k in range(array.ndim)
     )
-    block[locs] = flat_vals[sel]
+    array.local(rank)[locs] = values.reshape(-1)
 
 
-def _store_remote(array, rank, lists, values) -> None:
-    block = array.local(rank)
-    locs = tuple(
-        np.asarray(array.dim(k).local_index(lists[k]), dtype=np.int64)
-        for k in range(array.ndim)
-    )
-    block[locs] = values
+def _reader(flat: np.ndarray | None):
+    """Selection reads from one statement's flat value vector."""
+    def read(sel):
+        assert flat is not None, "schedule sends values on an empty rank"
+        return flat[sel]
+    return read
+
+
+def _writer(array, rank: int):
+    """Stores through frozen local-block coordinates."""
+    def write(locs, values):
+        array.local(rank)[locs] = values
+    return write

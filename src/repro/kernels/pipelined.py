@@ -24,13 +24,11 @@ from repro.kernels.substructured import (
     Mapping,
     ShuffleMapping,
     _holdings,
-    _obtain_pair,
     local_reduce,
     reduce_flops,
     reduce_four_rows,
     solve_reduced_pairs,
     tri_node_program,
-    REDUCE_FLOPS_PER_ROW,
     SUBST_FLOPS_PER_ROW,
     THOMAS_FLOPS_PER_ROW,
 )

@@ -169,17 +169,26 @@ class BaseDistArray:
         rec(0, [])
         return ranks
 
+    def owned_lists(self, rank: int) -> list[np.ndarray]:
+        """Per-dimension sorted global indices stored by ``rank``.
+
+        Protocol-level fallback for Sections, whose dims/grid mapping go
+        through ``dim()``/``grid_dim_of()`` indirection; DistArray
+        overrides this to delegate to its Distribution, the one place
+        ownership semantics live.
+        """
+        coords = self.grid.coords_of(rank)
+        out = []
+        for k in range(self.ndim):
+            g = self.grid_dim_of(k)
+            out.append(self.dim(k).owned_indices(coords[g] if g is not None else 0))
+        return out
+
     def to_global(self) -> np.ndarray:
         """Assemble the full global array (test/benchmark helper)."""
         out = np.zeros(self.shape, dtype=self.dtype)
         for rank in self.grid.linear:
-            coords = self.grid.coords_of(rank)
-            sel = []
-            for k in range(self.ndim):
-                g = self.grid_dim_of(k)
-                c = coords[g] if g is not None else 0
-                sel.append(self.dim(k).owned_indices(c))
-            out[np.ix_(*sel)] = self.local(rank)
+            out[np.ix_(*self.owned_lists(rank))] = self.local(rank)
         return out
 
     def from_global(self, arr: np.ndarray) -> None:
@@ -188,13 +197,7 @@ class BaseDistArray:
         if arr.shape != self.shape:
             raise ValidationError(f"shape {arr.shape} != array shape {self.shape}")
         for rank in self.grid.linear:
-            coords = self.grid.coords_of(rank)
-            sel = []
-            for k in range(self.ndim):
-                g = self.grid_dim_of(k)
-                c = coords[g] if g is not None else 0
-                sel.append(self.dim(k).owned_indices(c))
-            self.local(rank)[...] = arr[np.ix_(*sel)]
+            self.local(rank)[...] = arr[np.ix_(*self.owned_lists(rank))]
 
 
 class DistArray(BaseDistArray):
@@ -249,16 +252,63 @@ class DistArray(BaseDistArray):
         the new distribution and :meth:`invalidate_schedules` bumps the
         comm epoch so every cached gather schedule and doall plan keyed
         on the old layout is rebuilt on next use.
+
+        Data movement is owner-to-owner: each new block is assembled
+        from the intersections of the old blocks with it (the same
+        per-dimension box intersections the repartition TransferSchedule
+        compiles), never by materializing the global array.  This is the
+        host-side path for use outside SPMD programs; inside a node
+        program use ``ctx.redistribute(array, dist)``, which moves the
+        same intersections as simulated messages and caches the
+        schedule for replay.
         """
-        values = self.to_global()
-        self.dist = Distribution(dist, self.shape, self.grid.shape)
-        self._blocks = {}
-        for rank in self.grid.linear:
-            coords = self.grid.coords_of(rank)
-            self._blocks[rank] = np.zeros(
-                self.dist.local_shape(coords), dtype=self.dtype
+        from repro.compiler.commsched import repartition_pieces
+
+        new_dist = Distribution(dist, self.shape, self.grid.shape)
+        new_blocks = {
+            rank: np.zeros(
+                new_dist.local_shape(self.grid.coords_of(rank)), dtype=self.dtype
             )
-        self.from_global(values)
+            for rank in self.grid.linear
+        }
+        for src, dst, src_locs, dst_locs in repartition_pieces(self, new_dist):
+            new_blocks[dst][dst_locs] = self._blocks[src][src_locs]
+        self.dist = new_dist
+        self._blocks = new_blocks
+        self.invalidate_schedules()
+
+    # -- collective repartition staging protocol ------------------------
+    #
+    # ``execute_repartition`` runs once per rank inside the simulator;
+    # the array object is shared by every simulated rank, so the layout
+    # swap must happen exactly once, after every rank has finished
+    # reading its old block.  Each rank stages its new-layout block here
+    # and the first rank resumed after the commit barrier installs them.
+    # Staging is keyed by a per-collective token (run id + call tag):
+    # ranks of one repartition can race past its commit barrier into the
+    # *next* repartition before slower ranks run their (no-op) commit of
+    # the first, so blocks from consecutive collectives must never land
+    # in the same staging dict.
+
+    def _stage_repartition(self, rank: int, block: np.ndarray, token) -> None:
+        staging = getattr(self, "_staged_blocks", None)
+        if staging is None:
+            staging = self._staged_blocks = {}
+        staging.setdefault(token, {})[rank] = block
+
+    def _commit_repartition(self, new_dist: Distribution, token) -> None:
+        staging = getattr(self, "_staged_blocks", None)
+        staged = staging.pop(token, None) if staging is not None else None
+        if staged is None:
+            return  # an earlier-resumed rank already committed this call
+        if len(staged) != self.grid.size:
+            raise ValidationError(
+                f"repartition of {self.name!r} committed with "
+                f"{len(staged)}/{self.grid.size} ranks staged; every rank "
+                "of the array's grid must run the collective repartition"
+            )
+        self.dist = new_dist
+        self._blocks = staged
         self.invalidate_schedules()
 
     def dim(self, k: int) -> BoundDim:
@@ -266,6 +316,9 @@ class DistArray(BaseDistArray):
 
     def grid_dim_of(self, k: int) -> int | None:
         return self.dist.grid_dim_of[k]
+
+    def owned_lists(self, rank: int) -> list[np.ndarray]:
+        return self.dist.owned_lists(self.grid.coords_of(rank))
 
     def local(self, rank: int) -> np.ndarray:
         try:

@@ -75,6 +75,24 @@ class KaliCtx:
 
         return cached_inspector_gather(self, grid, array, indices, cache=cache)
 
+    # -- redistribution ----------------------------------------------------
+
+    def redistribute(self, array, dist, cache=None):
+        """Collective owner-to-owner repartition of ``array`` to ``dist``.
+
+        Every rank of ``array.grid`` must call this (SPMD discipline).
+        Each rank sends only the intersections of its old block with the
+        new owners' blocks -- the full array is never materialized --
+        and the repartition schedule is cached (keyed on the layout
+        pair, not the comm epoch), so repeated flips between two layouts
+        replay without re-deriving the moves.  ``cache`` defaults to the
+        process-wide :data:`repro.compiler.commsched.DEFAULT_CACHE`.
+        Yields machine ops (use ``yield from``).
+        """
+        from repro.compiler.commsched import cached_repartition
+
+        return cached_repartition(self, array, dist, cache=cache)
+
     # -- collectives over grids -------------------------------------------
 
     def allreduce(self, grid: ProcessorGrid, value: Any, op: Callable = operator.add):

@@ -332,6 +332,18 @@ class Distribution:
             out.append(bd.local_size(grid_coords[g] if g is not None else 0))
         return tuple(out)
 
+    def owned_lists(self, grid_coords: tuple) -> list[np.ndarray]:
+        """Per-dimension sorted global indices stored at ``grid_coords``.
+
+        The one shared answer to "which box does this processor hold" --
+        used by global assembly/scatter, repartition move derivation,
+        and benchmarks alike, so ownership semantics live in one place.
+        """
+        return [
+            bd.owned_indices(grid_coords[g] if g is not None else 0)
+            for bd, g in zip(self.bound, self.grid_dim_of)
+        ]
+
     def local_index(self, index: tuple) -> tuple:
         return tuple(int(bd.local_index(index[k])) for k, bd in enumerate(self.bound))
 

@@ -11,11 +11,20 @@ All collectives use binomial trees over the *position* of a rank inside
 slices, in the paper's terms).  Tags must be distinct per collective
 invocation and identical across the group -- the language layer's
 context allocates them.
+
+Tree shapes are not re-derived per call: a :class:`TreeTable` tabulates
+the binomial-tree routing of one (group, root) pair -- every rank's
+receive source and ordered send destinations for broadcasts, child and
+parent links for reductions -- and is cached process-wide, the
+machine-layer analogue of the compiler's cached transfer schedules (and
+of :class:`repro.kernels.substructured.TreeRouting`).  Wire behavior
+(message order and tags) is identical to deriving the tree inline.
 """
 
 from __future__ import annotations
 
 import operator
+from collections import OrderedDict
 from typing import Any, Callable, Hashable, Sequence
 
 from repro.machine.ops import Recv, Send
@@ -29,36 +38,131 @@ def _position(rank: int, group: Sequence[int]) -> int:
         raise ValidationError(f"rank {rank} not in group {list(group)!r}") from None
 
 
+class TreeTable:
+    """Tabulated binomial-tree routing of one ``(group, root)`` pair.
+
+    For every root-relative position the table precomputes the broadcast
+    receive source and ordered send destinations, and the reduction
+    child links and parent link, with machine ranks already resolved --
+    so collective calls do no modular arithmetic or round scanning.
+    """
+
+    __slots__ = (
+        "group",
+        "root",
+        "size",
+        "_pos",
+        "bcast_recv",
+        "bcast_sends",
+        "reduce_children",
+        "reduce_parent",
+    )
+
+    def __init__(self, group: Sequence[int], root: int):
+        group = tuple(group)
+        self.group = group
+        self.root = root
+        size = self.size = len(group)
+        rpos = _position(root, group)
+        self._pos = {r: (p - rpos) % size for p, r in enumerate(group)}
+
+        def rank_at(pos: int) -> int:
+            return group[(pos + rpos) % size]
+
+        steps = []
+        step = 1
+        while step < size:
+            steps.append(step)
+            step <<= 1
+
+        #: position -> source rank of the single broadcast receive
+        #: (None at the root position).
+        self.bcast_recv: list[int | None] = [None] * size
+        #: position -> [(dst rank, dst position), ...] in round order.
+        self.bcast_sends: list[list[tuple[int, int]]] = [[] for _ in range(size)]
+        #: position -> [(child rank, step), ...] in round order.
+        self.reduce_children: list[list[tuple[int, int]]] = [[] for _ in range(size)]
+        #: position -> (parent rank, parent position, step) or None.
+        self.reduce_parent: list[tuple[int, int, int] | None] = [None] * size
+
+        for me in range(size):
+            if me > 0:
+                up = 1 << (me.bit_length() - 1)  # highest power of two <= me
+                self.bcast_recv[me] = rank_at(me - up)
+            for step in steps:
+                if me < step and me + step < size:
+                    self.bcast_sends[me].append((rank_at(me + step), me + step))
+            low = me & -me if me else 0  # lowest set bit
+            for step in steps:
+                if low and step >= low:
+                    break
+                if me + step < size:
+                    self.reduce_children[me].append((rank_at(me + step), step))
+            if me > 0:
+                self.reduce_parent[me] = (rank_at(me - low), me - low, low)
+
+    def pos_of(self, rank: int) -> int:
+        """Root-relative position of a member rank."""
+        try:
+            return self._pos[rank]
+        except KeyError:
+            raise ValidationError(
+                f"rank {rank} not in group {list(self.group)!r}"
+            ) from None
+
+
+#: Process-wide tree-routing tables, keyed by (group, root).  LRU-bounded
+#: like every other cache in the repo: rebuilding an evicted table is
+#: always safe (tables are derived deterministically from the key).
+_TREE_TABLES: OrderedDict[tuple, TreeTable] = OrderedDict()
+_TREE_TABLES_MAX = 512
+_TREE_STATS = {"hits": 0, "builds": 0}
+
+
+def get_tree_table(group: Sequence[int], root: int) -> tuple[TreeTable, bool]:
+    """Cached table for ``(group, root)``; returns ``(table, was_cached)``."""
+    key = (tuple(group), root)
+    table = _TREE_TABLES.get(key)
+    if table is not None:
+        _TREE_STATS["hits"] += 1
+        _TREE_TABLES.move_to_end(key)
+        return table, True
+    table = TreeTable(group, root)
+    _TREE_TABLES[key] = table
+    while len(_TREE_TABLES) > _TREE_TABLES_MAX:
+        _TREE_TABLES.popitem(last=False)
+    _TREE_STATS["builds"] += 1
+    return table, False
+
+
+def tree_table_stats() -> dict[str, int]:
+    """Reuse counters of the tree-table cache."""
+    return {"entries": len(_TREE_TABLES), **_TREE_STATS}
+
+
+def clear_tree_tables() -> None:
+    """Drop all cached tree tables (mostly for tests)."""
+    _TREE_TABLES.clear()
+    _TREE_STATS["hits"] = 0
+    _TREE_STATS["builds"] = 0
+
+
 def bcast(rank: int, group: Sequence[int], data: Any, *, root: int, tag: Hashable):
-    """Broadcast ``data`` from ``root`` to every rank in ``group``."""
-    group = list(group)
-    size = len(group)
-    rpos = _position(root, group)
-    me = (_position(rank, group) - rpos) % size  # root-relative position
+    """Broadcast ``data`` from ``root`` to every rank in ``group``.
+
+    Binomial tree: a rank at root-relative position ``me`` receives once
+    from position ``me - 2**floor(log2 me)`` and forwards to positions
+    ``me + step`` for every round ``step > me``, all served from the
+    cached :class:`TreeTable`.
+    """
+    table, _ = get_tree_table(group, root)
+    me = table.pos_of(rank)
     value = data if rank == root else None
-    # binomial tree: at round k, positions < 2**k forward to position + 2**k
-    mask = 1
-    while mask < size:
-        mask <<= 1
-    recv_done = me == 0
-    k = 1
-    while k < size:
-        k <<= 1
-    # walk rounds from the top so low positions send early
-    rounds = []
-    step = 1
-    while step < size:
-        rounds.append(step)
-        step <<= 1
-    for step in rounds:
-        if me < step:
-            peer = me + step
-            if peer < size:
-                dst = group[(peer + rpos) % size]
-                yield Send(dst, value, tag=(tag, "bcast", peer))
-        elif me < 2 * step and not recv_done:
-            value = yield Recv(src=group[(me - step + rpos) % size], tag=(tag, "bcast", me))
-            recv_done = True
+    src = table.bcast_recv[me]
+    if src is not None:
+        value = yield Recv(src=src, tag=(tag, "bcast", me))
+    for dst, dst_pos in table.bcast_sends[me]:
+        yield Send(dst, value, tag=(tag, "bcast", dst_pos))
     return value
 
 
@@ -72,27 +176,17 @@ def reduce(
     op: Callable[[Any, Any], Any] = operator.add,
 ):
     """Reduce values from all ranks onto ``root``; others return None."""
-    group = list(group)
-    size = len(group)
-    rpos = _position(root, group)
-    me = (_position(rank, group) - rpos) % size
+    table, _ = get_tree_table(group, root)
+    me = table.pos_of(rank)
     value = data
-    step = 1
-    while step < size:
-        if me % (2 * step) == 0:
-            peer = me + step
-            if peer < size:
-                other = yield Recv(
-                    src=group[(peer + rpos) % size], tag=(tag, "reduce", me, step)
-                )
-                value = op(value, other)
-        elif me % (2 * step) == step:
-            parent = me - step
-            yield Send(
-                group[(parent + rpos) % size], value, tag=(tag, "reduce", parent, step)
-            )
-            return None
-        step <<= 1
+    for child, step in table.reduce_children[me]:
+        other = yield Recv(src=child, tag=(tag, "reduce", me, step))
+        value = op(value, other)
+    parent = table.reduce_parent[me]
+    if parent is not None:
+        parent_rank, parent_pos, step = parent
+        yield Send(parent_rank, value, tag=(tag, "reduce", parent_pos, step))
+        return None
     return value if rank == root else None
 
 

@@ -231,7 +231,7 @@ class Machine:
                     if proc.rank not in op.group:
                         raise MachineError(
                             f"proc {proc.rank} entered barrier {op.tag!r} "
-                            f"it does not belong to"
+                            "it does not belong to"
                         )
                     barriers.setdefault(key, []).append(proc.rank)
                     proc.in_barrier = key

@@ -96,34 +96,66 @@ class Trace:
     #: ``commsched/hit`` (a cached schedule was replayed),
     #: ``commsched/miss`` (an irregular-gather schedule had to be built),
     #: ``commsched/build`` (a doall communication plan was compiled).
+    #: Every event's payload leads with the transfer *direction*:
+    #: ``"gather"`` (cached irregular gathers), ``"scatter"`` (doall
+    #: remote-write schedules), ``"repartition"`` (redistribution
+    #: schedules), or ``"doall"`` (whole-loop plan compiles/replays).
     SCHED_PREFIX = "commsched/"
 
-    def schedule_events(self) -> list[MarkRecord]:
-        """All schedule cache events, in simulated-time order of record."""
-        return [m for m in self.marks if m.label.startswith(self.SCHED_PREFIX)]
+    def schedule_events(self, direction: str | None = None) -> list[MarkRecord]:
+        """Schedule cache events, optionally filtered by direction."""
+        out = [m for m in self.marks if m.label.startswith(self.SCHED_PREFIX)]
+        if direction is not None:
+            out = [
+                m for m in out
+                if isinstance(m.payload, tuple)
+                and m.payload
+                and m.payload[0] == direction
+            ]
+        return out
 
-    def schedule_counts(self) -> dict[str, int]:
-        """Event counts by kind, e.g. ``{"hit": 8, "build": 1}``."""
+    def schedule_counts(self, direction: str | None = None) -> dict[str, int]:
+        """Event counts by kind, e.g. ``{"hit": 8, "build": 1}``.
+
+        Pass ``direction`` to restrict to one transfer direction, e.g.
+        ``schedule_counts("scatter")`` counts only the doall write-side
+        schedule events.
+        """
         out: dict[str, int] = {}
-        for m in self.schedule_events():
+        for m in self.schedule_events(direction):
             kind = m.label[len(self.SCHED_PREFIX):]
             out[kind] = out.get(kind, 0) + 1
         return out
 
-    def schedule_hit_rate(self) -> float:
+    def schedule_hit_rate(self, direction: str | None = None) -> float:
         """Fraction of schedule lookups served from cache (0.0 if none).
 
         Benchmarks report this as the reuse rate: hits over all events
         (hits + misses + builds), counted per rank per call.  A build is
         recorded once per process-wide compile -- the other ranks of
         that same collective execution count as hits, since they fetch
-        the shared plan instead of deriving it.
+        the shared plan instead of deriving it.  Pass ``direction`` to
+        report one direction alone, e.g. ``schedule_hit_rate("gather")``
+        vs. ``schedule_hit_rate("scatter")``.
         """
-        counts = self.schedule_counts()
+        counts = self.schedule_counts(direction)
         total = sum(counts.values())
         if total == 0:
             return 0.0
         return counts.get("hit", 0) / total
+
+    def schedule_directions(self) -> dict[str, dict[str, int]]:
+        """Per-direction event counts, e.g. ``{"gather": {"hit": 4,
+        "miss": 2}, "scatter": {"hit": 3, "build": 1}}``."""
+        out: dict[str, dict[str, int]] = {}
+        for m in self.schedule_events():
+            if not (isinstance(m.payload, tuple) and m.payload):
+                continue
+            direction = m.payload[0]
+            kind = m.label[len(self.SCHED_PREFIX):]
+            d = out.setdefault(direction, {})
+            d[kind] = d.get(kind, 0) + 1
+        return out
 
     # ------------------------------------------------------------------
     # Mark-based analysis (data-flow figures)

@@ -89,9 +89,9 @@ class MG2:
             ny_l //= 2
             lvl += 1
         # link restriction/interpolation loops between adjacent levels
-        for l in range(len(self.levels) - 1):
-            fine = self.levels[l]
-            coarse = self.levels[l + 1]
+        for lev in range(len(self.levels) - 1):
+            fine = self.levels[lev]
+            coarse = self.levels[lev + 1]
             fine["restrict"] = self._build_restrict(fine["r"], coarse["f"], fine["ny"])
             fine["interp_even"], fine["interp_odd"] = self._build_interp(
                 fine["u"], coarse["u"], fine["ny"]

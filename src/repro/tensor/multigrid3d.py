@@ -90,8 +90,8 @@ class MG3:
                 break
             nz_l //= 2
             lvl += 1
-        for l in range(len(self.levels) - 1):
-            fine, coarse = self.levels[l], self.levels[l + 1]
+        for lev in range(len(self.levels) - 1):
+            fine, coarse = self.levels[lev], self.levels[lev + 1]
             fine["restrict"] = self._build_restrict(fine["r"], coarse["f"], fine["nz"])
             fine["interp_even"], fine["interp_odd"] = self._build_interp(
                 fine["u"], coarse["u"], fine["nz"]

@@ -10,7 +10,7 @@ from repro.baselines import (
     loc_report,
     mp_jacobi_node,
 )
-from repro.machine import CostModel, Machine
+from repro.machine import Machine
 from repro.tensor.jacobi import jacobi_reference
 from repro.util.errors import ValidationError
 

@@ -1,6 +1,5 @@
 """Dedicated tests for the static performance estimator."""
 
-import numpy as np
 import pytest
 
 from repro.compiler import clear_plan_cache, estimate_doall

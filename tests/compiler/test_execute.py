@@ -8,7 +8,6 @@ from repro.lang import (
     Assign,
     DistArray,
     Doall,
-    OnProc,
     Owner,
     ProcessorGrid,
     loopvars,

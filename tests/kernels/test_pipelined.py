@@ -7,7 +7,7 @@ from repro.kernels.pipelined import (
     pipelined_multi_tri_solve,
     sequential_multi_tri_solve,
 )
-from repro.kernels.substructured import ContiguousMapping, ShuffleMapping
+from repro.kernels.substructured import ContiguousMapping
 from repro.kernels.thomas import thomas_solve
 from repro.machine import CostModel, Machine
 from repro.util.errors import ValidationError

@@ -13,7 +13,7 @@ from repro.kernels.substructured import (
     solve_reduced_pairs,
     substructured_tri_solve,
 )
-from repro.kernels.thomas import build_tridiagonal_dense, thomas_solve
+from repro.kernels.thomas import thomas_solve
 from repro.machine import CostModel, Machine
 from repro.util.errors import ValidationError
 

@@ -1,8 +1,6 @@
 """Tests for the SPMD context: tags, collectives, run_spmd."""
 
-import operator
 
-import numpy as np
 import pytest
 
 from repro.lang import KaliCtx, ProcessorGrid, run_spmd

@@ -8,8 +8,6 @@ from hypothesis import strategies as st
 from repro.lang.dist import (
     Block,
     BlockCyclic,
-    BoundBlock,
-    BoundCyclic,
     Cyclic,
     Distribution,
     Star,

@@ -1,6 +1,5 @@
 """Unit tests for affine index and value expressions."""
 
-from fractions import Fraction
 
 import numpy as np
 import pytest

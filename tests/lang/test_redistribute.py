@@ -1,0 +1,299 @@
+"""Tests for owner-to-owner redistribution (repartition TransferSchedules).
+
+Covers the acceptance contract: round-trip value preservation across
+block/cyclic/block-cyclic layouts, bit-identity of schedule replay vs.
+first build, cache hits on repeated layout flips, and the golden-trace
+assertion that repartition moves strictly fewer bytes than the old
+gather-to-all path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import ScheduleCache, repartition_pieces
+from repro.lang import BlockCyclic, DistArray, ProcessorGrid, run_spmd
+from repro.lang.dist import Distribution
+from repro.machine import Machine
+from repro.util.errors import ValidationError
+
+
+# ----------------------------------------------------------------------
+# Host-side path (DistArray.redistribute)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "layouts",
+    [
+        [("cyclic",), ("block",)],
+        [(BlockCyclic(3),), ("cyclic",), ("block",)],
+    ],
+)
+def test_host_roundtrip_preserves_values_1d(layouts):
+    n, p = 23, 4  # deliberately not a multiple of p
+    g = ProcessorGrid((p,))
+    A = DistArray((n,), g, dist=("block",), name="A")
+    ref = np.sin(np.arange(float(n)))
+    A.from_global(ref)
+    for dist in layouts:
+        A.redistribute(dist)
+        np.testing.assert_array_equal(A.to_global(), ref)
+
+
+def test_host_roundtrip_preserves_values_2d():
+    g = ProcessorGrid((2, 2))
+    A = DistArray((7, 9), g, dist=("block", "block"), name="A")
+    ref = np.arange(63.0).reshape(7, 9)
+    A.from_global(ref)
+    for dist in [("cyclic", "block"), (BlockCyclic(2), "cyclic"), ("block", "block")]:
+        A.redistribute(dist)
+        np.testing.assert_array_equal(A.to_global(), ref)
+
+
+def test_host_redistribute_replicated_roundtrip():
+    p = 3
+    g = ProcessorGrid((p,))
+    A = DistArray((10,), g, name="A")  # replicated
+    ref = np.arange(10.0)
+    A.from_global(ref)
+    A.redistribute(("block",))
+    np.testing.assert_array_equal(A.to_global(), ref)
+    A.redistribute(("*",))
+    np.testing.assert_array_equal(A.to_global(), ref)
+    for rank in g.linear:  # every rank holds the full copy again
+        np.testing.assert_array_equal(A.local(rank), ref)
+
+
+def test_pieces_partition_the_array():
+    """Every element of the new layout is written exactly once."""
+    n, p = 12, 3
+    g = ProcessorGrid((p,))
+    A = DistArray((n,), g, dist=("block",), name="A")
+    new_dist = Distribution(("cyclic",), A.shape, g.shape)
+    seen = {r: np.zeros(new_dist.local_shape(g.coords_of(r)), dtype=int) for r in g.linear}
+    for _src, dst, _src_locs, dst_locs in repartition_pieces(A, new_dist):
+        seen[dst][dst_locs] += 1
+    for r in g.linear:
+        np.testing.assert_array_equal(seen[r], 1)
+
+
+# ----------------------------------------------------------------------
+# Collective path (ctx.redistribute)
+# ----------------------------------------------------------------------
+
+
+def _flip_program(A, dists, cache, out=None):
+    def prog(ctx):
+        for k, dist in enumerate(dists):
+            yield from ctx.redistribute(A, dist, cache=cache)
+            if out is not None and ctx.rank == 0:
+                out.append(A.to_global().copy())
+
+    return prog
+
+
+def test_collective_redistribute_preserves_values_and_bumps_epoch():
+    n, p = 16, 4
+    g = ProcessorGrid((p,))
+    A = DistArray((n,), g, dist=("block",), name="A")
+    ref = np.arange(float(n)) * 2.0
+    A.from_global(ref)
+    cache = ScheduleCache()
+    epoch0 = A.comm_epoch
+
+    run_spmd(Machine(n_procs=p), g, _flip_program(A, [("cyclic",)], cache))
+    assert A.dist.spec_key() == (("cyclic",),)
+    assert A.comm_epoch == epoch0 + 1  # one bump per collective, not per rank
+    np.testing.assert_array_equal(A.to_global(), ref)
+
+
+def test_repeated_flips_hit_schedule_cache():
+    n, p = 16, 4
+    g = ProcessorGrid((p,))
+    A = DistArray((n,), g, dist=("block",), name="A")
+    A.from_global(np.arange(float(n)))
+    cache = ScheduleCache()
+    flips = [("cyclic",), ("block",)] * 3
+
+    trace = run_spmd(Machine(n_procs=p), g, _flip_program(A, flips, cache))
+    # two distinct transitions build once each; the other four replay
+    assert cache.direction_stats() == {
+        "repartition": {"hits": 4 * p, "misses": 2 * p}
+    }
+    assert trace.schedule_counts("repartition") == {"hit": 4 * p, "miss": 2 * p}
+    np.testing.assert_array_equal(A.to_global(), np.arange(float(n)))
+
+
+def test_replay_is_bit_identical_to_first_build():
+    """The replayed flips must move byte-identical messages and produce
+    byte-identical blocks, even with values mutated between flips."""
+    n, p = 24, 3
+    g = ProcessorGrid((p,))
+    flips = [("cyclic",), ("block",)]
+
+    def run(cache, sweeps):
+        A = DistArray((n,), g, dist=("block",), name="A")
+        A.from_global(np.arange(float(n)) * 0.5)
+        traces = []
+        for _ in range(sweeps):
+            t = run_spmd(Machine(n_procs=p), g, _flip_program(A, flips, cache))
+            traces.append(t)
+        return A, traces
+
+    cache = ScheduleCache()
+    A, traces = run(cache, 2)
+    build_msgs = sorted((m.src, m.dst, m.nbytes) for m in traces[0].messages)
+    replay_msgs = sorted((m.src, m.dst, m.nbytes) for m in traces[1].messages)
+    assert build_msgs == replay_msgs  # replay == build on the wire
+
+    fresh, (t_fresh,) = run(ScheduleCache(), 1)
+    np.testing.assert_array_equal(A.to_global(), fresh.to_global())
+
+
+def test_replay_observes_current_values():
+    """Schedules cache the moves, not the data."""
+    n, p = 12, 2
+    g = ProcessorGrid((p,))
+    A = DistArray((n,), g, dist=("block",), name="A")
+    cache = ScheduleCache()
+    for k in range(3):
+        A.from_global(np.arange(float(n)) + 100.0 * k)
+        run_spmd(
+            Machine(n_procs=p), g, _flip_program(A, [("cyclic",), ("block",)], cache)
+        )
+        np.testing.assert_array_equal(A.to_global(), np.arange(float(n)) + 100.0 * k)
+
+
+def test_consecutive_repartitions_with_message_free_flips():
+    """Regression: a rank can race past one repartition's commit barrier
+    into the next repartition before slower ranks run their (no-op)
+    commit of the first.  When the second flip has no receives for that
+    rank (same-layout flip, or relayout from a replicated source), it
+    stages immediately -- staging keyed only by rank used to mix the two
+    collectives' blocks and abort with '1/p ranks staged'."""
+    n, p = 16, 4
+    g = ProcessorGrid((p,))
+    A = DistArray((n,), g, dist=("block",), name="A")
+    ref = np.arange(float(n))
+    A.from_global(ref)
+    cache = ScheduleCache()
+
+    # same-layout second flip: every rank's schedule is a pure self-move
+    run_spmd(
+        Machine(n_procs=p), g,
+        _flip_program(A, [("cyclic",), ("cyclic",)], cache),
+    )
+    np.testing.assert_array_equal(A.to_global(), ref)
+
+    # replicated -> distributed: again no receives anywhere
+    B = DistArray((n,), g, name="B")
+    B.from_global(ref)
+    run_spmd(
+        Machine(n_procs=p), g,
+        _flip_program(B, [("*",), ("block",)], cache),
+    )
+    np.testing.assert_array_equal(B.to_global(), ref)
+    assert B.dist.spec_key() == (("block",),)
+
+
+def test_redistribute_of_section_rejected():
+    """Sections inherit their base's layout: repartitioning one must be
+    a loud ValidationError, not an AttributeError mid-simulation."""
+    g = ProcessorGrid((2,))
+    u = DistArray((4, 8), g, dist=("*", "block"), name="u")
+    sec = u[0, :]
+    cache = ScheduleCache()
+
+    def prog(ctx):
+        yield from ctx.redistribute(sec, ("block",), cache=cache)
+
+    with pytest.raises(ValidationError, match="only whole DistArrays"):
+        run_spmd(Machine(n_procs=2), g, prog)
+
+
+def test_collective_redistribute_invalidates_sections_and_gathers():
+    n, p = 16, 2
+    g = ProcessorGrid((p,))
+    u = DistArray((4, n), g, dist=("*", "block"), name="u")
+    u.from_global(np.arange(4.0 * n).reshape(4, n))
+    sec = u[0, :]
+    cache = ScheduleCache()
+    idx = {0: np.array([[0, n - 1]]), 1: np.array([[1, 0]])}
+
+    def prog(ctx):
+        yield from ctx.cached_gather(g, u, idx[ctx.rank], cache=cache)
+        yield from ctx.redistribute(u, ("*", "cyclic"), cache=cache)
+
+    run_spmd(Machine(n_procs=p), g, prog)
+    # gather schedules of the old layout are gone; repartition schedules stay
+    assert all(s.direction == "repartition" for s in cache._entries.values())
+    with pytest.raises(ValidationError, match="stale section"):
+        sec.local(0)
+
+
+# ----------------------------------------------------------------------
+# Golden trace: owner-to-owner beats gather-to-all
+# ----------------------------------------------------------------------
+
+
+def _gather_to_all_relayout(machine, A, dist):
+    """The seed's redistribution strategy, spelled as messages: gather
+    every block to a root, assemble the global array, broadcast it, and
+    re-slice locally -- what ``to_global()``/``from_global()`` would
+    cost if the host-side loops were real communication."""
+    g = A.grid
+    new_dist = Distribution(dist, A.shape, g.shape)
+    shape = A.shape
+
+    def prog(ctx):
+        me = ctx.rank
+        blocks = yield from ctx.gather(g, np.ascontiguousarray(A.local(me)), root=g.linear[0])
+        if ctx.rank == g.linear[0]:
+            full = np.zeros(shape, dtype=A.dtype)
+            for rank, block in zip(g.linear, blocks):
+                full[np.ix_(*A.owned_lists(rank))] = block
+        else:
+            full = None
+        full = yield from ctx.bcast(g, full, root=g.linear[0])
+        mine = new_dist.owned_lists(g.coords_of(me))
+        A._stage_repartition(me, np.ascontiguousarray(full[np.ix_(*mine)]), "g2a")
+        from repro.machine.ops import Barrier
+
+        yield Barrier(group=tuple(g.linear), tag="g2a-commit")
+        A._commit_repartition(new_dist, "g2a")
+
+    return run_spmd(machine, g, prog)
+
+
+def test_golden_repartition_beats_gather_to_all():
+    """n=12, p=3, block -> cyclic: exactly 6 owner-to-owner messages of
+    48 total bytes, strictly fewer than the gather-to-all relayout."""
+    n, p = 12, 3
+    g = ProcessorGrid((p,))
+    ref = np.arange(float(n))
+
+    A = DistArray((n,), g, dist=("block",), name="A")
+    A.from_global(ref)
+    cache = ScheduleCache()
+    t_sched = run_spmd(
+        Machine(n_procs=p), g, _flip_program(A, [("cyclic",)], cache)
+    )
+    np.testing.assert_array_equal(A.to_global(), ref)
+
+    B = DistArray((n,), g, dist=("block",), name="B")
+    B.from_global(ref)
+    t_g2a = _gather_to_all_relayout(Machine(n_procs=p), B, ("cyclic",))
+    np.testing.assert_array_equal(B.to_global(), ref)
+    assert B.dist.spec_key() == A.dist.spec_key()
+
+    # golden: every off-diagonal old-block/new-block intersection is one
+    # element here -> 6 messages x 8 bytes
+    assert t_sched.message_count() == 6
+    assert t_sched.total_bytes() == 48
+    # the old path ships whole blocks to the root plus the whole array
+    # down the broadcast tree
+    assert t_g2a.total_bytes() == 2 * 4 * 8 + 2 * n * 8
+    assert t_sched.total_bytes() < t_g2a.total_bytes()
+    assert t_sched.message_count() == t_g2a.message_count() + 2
+    # owner-to-owner: no repartition message ever carries the full array
+    assert all(m.nbytes < n * 8 for m in t_sched.messages)

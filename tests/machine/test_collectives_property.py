@@ -1,8 +1,6 @@
 """Property-based tests: collectives on arbitrary processor groups."""
 
-import operator
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

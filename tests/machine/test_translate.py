@@ -1,7 +1,6 @@
 """Tests for rank translation of node programs onto grid slices."""
 
 import numpy as np
-import pytest
 
 from repro.machine import Barrier, Compute, Machine, Recv, Send
 from repro.machine.translate import translate_ranks

@@ -1,0 +1,138 @@
+"""Tests for the cached binomial-tree routing tables of collectives."""
+
+import numpy as np
+import pytest
+
+from repro.machine import CostModel, Machine
+from repro.machine import collectives as coll
+from repro.machine.collectives import (
+    TreeTable,
+    clear_tree_tables,
+    get_tree_table,
+    tree_table_stats,
+)
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(autouse=True)
+def _fresh_tables():
+    clear_tree_tables()
+    yield
+    clear_tree_tables()
+
+
+def run_group(n, group, body):
+    m = Machine(
+        n_procs=n,
+        cost=CostModel(alpha=1.0, beta=0.001, flop_time=1.0, send_overhead=0.0,
+                       gamma_hop=0.0),
+    )
+    results = {}
+
+    def make(rank):
+        def prog():
+            if rank in group:
+                results[rank] = yield from body(rank)
+
+        return prog()
+
+    return m.run(make), results
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+@pytest.mark.parametrize("rpos", [0, 1])
+def test_table_matches_inline_derivation(size, rpos):
+    """The tabulated routing must equal the seed's per-call derivation."""
+    if rpos >= size:
+        pytest.skip("root position outside group")
+    group = list(range(10, 10 + size))
+    root = group[rpos]
+    table = TreeTable(group, root)
+
+    def rank_at(pos):
+        return group[(pos + rpos) % size]
+
+    for me in range(size):
+        # bcast: recv from me - 2**floor(log2 me); sends at steps > me
+        if me == 0:
+            assert table.bcast_recv[me] is None
+        else:
+            up = 1 << (me.bit_length() - 1)
+            assert table.bcast_recv[me] == rank_at(me - up)
+        step, sends = 1, []
+        while step < size:
+            if me < step and me + step < size:
+                sends.append((rank_at(me + step), me + step))
+            step <<= 1
+        assert table.bcast_sends[me] == sends
+        # reduce: children below the lowest set bit, parent at it
+        step, children = 1, []
+        while step < size:
+            if me % (2 * step) == step:
+                assert table.reduce_parent[me] == (rank_at(me - step), me - step, step)
+                break
+            if me + step < size:
+                children.append((rank_at(me + step), step))
+            step <<= 1
+        else:
+            assert table.reduce_parent[me] is None
+        assert table.reduce_children[me] == children
+
+
+def test_tables_are_cached_per_group_and_root():
+    group = [0, 1, 2, 3]
+
+    def body(rank):
+        a = yield from coll.bcast(rank, group, rank == 0 or None, root=0, tag="b1")
+        b = yield from coll.bcast(rank, group, rank == 0 or None, root=0, tag="b2")
+        c = yield from coll.reduce(rank, group, 1, root=0, tag="r1")
+        d = yield from coll.bcast(rank, group, "x" if rank == 2 else None, root=2, tag="b3")
+        return (a, b, c, d)
+
+    run_group(4, group, body)
+    stats = tree_table_stats()
+    # (group, 0) built once and reused across bcast/bcast/reduce; the
+    # root-2 broadcast needs its own table
+    assert stats["entries"] == 2
+    assert stats["builds"] == 2
+    assert stats["hits"] == 4 * 4 - 2  # every later per-rank call hits
+
+    table, cached = get_tree_table(tuple(group), 0)
+    assert cached and table.root == 0
+    clear_tree_tables()
+    assert tree_table_stats() == {"entries": 0, "hits": 0, "builds": 0}
+
+
+def test_cached_collectives_produce_same_results():
+    """Second invocation (pure table replay) matches the first."""
+    group = [1, 3, 4, 6]
+
+    def body(rank):
+        first = yield from coll.allreduce(rank, group, rank, tag="a1")
+        second = yield from coll.allreduce(rank, group, rank, tag="a2")
+        return (first, second)
+
+    _, results = run_group(8, group, body)
+    for r in group:
+        assert results[r] == (14, 14)
+
+
+def test_non_member_rank_rejected():
+    table = TreeTable([0, 2, 4], 0)
+    with pytest.raises(ValidationError, match="not in group"):
+        table.pos_of(1)
+
+
+def test_bcast_array_payload_through_table():
+    group = list(range(6))
+    payload = np.arange(5.0)
+
+    def body(rank):
+        got = yield from coll.bcast(
+            rank, group, payload if rank == 4 else None, root=4, tag="b"
+        )
+        return got
+
+    _, results = run_group(6, group, body)
+    for r in group:
+        np.testing.assert_array_equal(results[r], payload)

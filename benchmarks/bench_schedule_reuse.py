@@ -97,6 +97,8 @@ def run(p=8, n=256, sweeps=6, per_rank=32):
         "time_uncached": t_un.makespan(),
         "time_cached": t_ca.makespan(),
         "hit_rate": t_ca.schedule_hit_rate(),
+        "hit_rate_gather": t_ca.schedule_hit_rate("gather"),
+        "directions": t_ca.schedule_directions(),
         "cache": cache.stats(),
     }
 
@@ -113,6 +115,8 @@ def _check_and_report(r):
         f"{r['msg_ratio']:.2f}x"
     )
     assert r["time_cached"] < r["time_uncached"]
+    # reuse must be visible per direction from the second sweep on
+    assert r["hit_rate_gather"] > 0.0
     report(
         "SCHED",
         "communication-schedule reuse on a loop-invariant irregular gather",
@@ -124,7 +128,9 @@ def _check_and_report(r):
             f"sim time: uncached {r['time_uncached']:.6g}s, "
             f"cached {r['time_cached']:.6g}s "
             f"({r['time_uncached'] / r['time_cached']:.2f}x faster)",
-            f"schedule hit rate {r['hit_rate']:.3f}, cache {r['cache']}",
+            f"schedule hit rate {r['hit_rate']:.3f} "
+            f"(gather {r['hit_rate_gather']:.3f}), cache {r['cache']}",
+            f"per-direction events: {r['directions']}",
             f"results bit-identical: {r['identical']}",
         ],
     )

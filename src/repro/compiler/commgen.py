@@ -12,16 +12,24 @@ Everything is deterministic and derivable by every rank independently,
 which is why the generated sends and receives match without any runtime
 negotiation -- the property the paper relies on for affine loops.
 
-The analysis result is *frozen* into per-rank communication schedules
-on both sides: :meth:`ReadPlan.freeze` compiles open-mesh local
-coordinates for every outgoing coalesced ghost message and scatter
-positions for every incoming one, and the write analysis compiles each
-statement's remote-write sets into a scatter-direction
-:class:`~repro.compiler.commsched.TransferSchedule` (value-vector
-selections out, local-block coordinates in).  The executor in
-:mod:`repro.compiler.schedule` replays these precomputed arrays on
+The analysis result is *frozen* into per-rank
+:class:`~repro.compiler.commsched.TransferSchedule` objects on both
+sides: :meth:`ReadPlan.freeze` compiles each rank's share of the ghost
+exchange into a gather-direction schedule (open-mesh local-block
+coordinates out, workspace scatter positions in), and the write
+analysis compiles each statement's remote-write sets into a
+scatter-direction schedule (value-vector selections out, local-block
+coordinates in).  The executor in :mod:`repro.compiler.schedule`
+replays both through
+:func:`~repro.compiler.commsched.execute_transfer`'s wire halves on
 every sweep, so repeated doall executions (the common case) pay for
-communication-set derivation exactly once.
+communication-set derivation exactly once and every direction data
+moves shares one executor and one trace vocabulary.
+
+The analysis also derives the *interior* iteration count per rank: the
+points whose reads are all locally owned and can therefore be computed
+while ghost messages are still in flight.  The overlap-aware executor
+splits its Compute op on this count; see ``LoopAnalysis.interior_count``.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from repro.compiler import access as acc
 from repro.compiler.stripmine import IterSet, stripmine
 from repro.lang.array import BaseDistArray
 from repro.lang.doall import Doall
+from repro.util.errors import CompileError
 
 
 class ReadPlan:
@@ -39,25 +48,20 @@ class ReadPlan:
     on one rank.
 
     The ``recv_from``/``send_to``/``own_overlap`` global index lists are
-    the analysis result; the ``*_locs``/``*_pos`` fields are the frozen
-    executor schedule derived from them once at compile time: open-mesh
-    local-block coordinates for every outgoing coalesced message and
-    workspace scatter positions for every incoming one, so re-executing
-    the loop every sweep replays precomputed permutation arrays instead
-    of re-deriving them.
+    the analysis result; ``transfer`` is the frozen gather-direction
+    :class:`~repro.compiler.commsched.TransferSchedule` derived from
+    them once at compile time: open-mesh local-block coordinates for
+    every outgoing coalesced ghost message (source side) and workspace
+    scatter positions for every incoming one (destination side), with
+    the own-data overlap as the schedule's local move.  Re-executing the
+    loop every sweep replays this schedule through the shared transfer
+    executor instead of re-deriving index arrays -- the read side of the
+    wire path is the same code path as the write side and repartition.
+    ``transfer`` is None when the rank neither reads nor owns any part
+    of the array.
     """
 
-    __slots__ = (
-        "array",
-        "needed",
-        "recv_from",
-        "send_to",
-        "own_overlap",
-        "send_locs",
-        "own_locs",
-        "own_pos",
-        "recv_pos",
-    )
+    __slots__ = ("array", "needed", "recv_from", "send_to", "own_overlap", "transfer")
 
     def __init__(self, array: BaseDistArray):
         self.array = array
@@ -66,22 +70,24 @@ class ReadPlan:
         self.recv_from: dict[int, list[np.ndarray]] = {}
         self.send_to: dict[int, list[np.ndarray]] = {}
         self.own_overlap: list[np.ndarray] | None = None
-        # -- frozen executor schedule (see freeze()) --------------------
-        self.send_locs: dict[int, tuple] = {}
-        self.own_locs: tuple | None = None
-        self.own_pos: tuple | None = None
-        self.recv_pos: dict[int, tuple] = {}
+        #: frozen gather-direction TransferSchedule (see freeze())
+        self.transfer: "TransferSchedule | None" = None
 
     def freeze(self, rank: int) -> None:
-        """Compile the index lists into reusable gather/scatter arrays."""
+        """Compile the index lists into a gather TransferSchedule."""
+        from repro.compiler.commsched import TransferSchedule
+
         array = self.array
+        ts = TransferSchedule("gather", rank=rank, grid=array.grid)
         if self.needed is not None:
-            for src, lists in self.recv_from.items():
-                self.recv_pos[src] = np.ix_(
+            for src in sorted(self.recv_from):
+                lists = self.recv_from[src]
+                pos = np.ix_(
                     *(acc.positions_in(n, g) for n, g in zip(self.needed, lists))
                 )
+                ts.recvs.append((src, pos))
             if self.own_overlap is not None:
-                self.own_pos = np.ix_(
+                ts.self_dst = np.ix_(
                     *(
                         acc.positions_in(n, g)
                         for n, g in zip(self.needed, self.own_overlap)
@@ -89,9 +95,19 @@ class ReadPlan:
                 )
         if array.grid.contains(rank):
             if self.own_overlap is not None:
-                self.own_locs = np.ix_(*local_positions(array, self.own_overlap))
-            for dst, lists in self.send_to.items():
-                self.send_locs[dst] = np.ix_(*local_positions(array, lists))
+                ts.self_src = np.ix_(*local_positions(array, self.own_overlap))
+            for dst in sorted(self.send_to):
+                ts.sends.append((dst, np.ix_(*local_positions(array, self.send_to[dst]))))
+        elif self.own_overlap is not None:
+            # only reachable for a replicated array on a sub-grid: the
+            # rank "overlaps" every element but stores no copy to read
+            raise CompileError(
+                f"rank {rank} reads replicated array {array.name!r} but "
+                "owns no copy of it (the array's grid does not contain "
+                "the rank); replicate on the loop grid instead"
+            )
+        if ts.sends or ts.recvs or ts.self_src is not None:
+            self.transfer = ts
 
 
 class WritePlan:
@@ -141,12 +157,19 @@ class LoopAnalysis:
         # needed[arr_idx][rank] -> per-dim lists or None
         self.needed: list[dict[int, list[np.ndarray] | None]] = []
         self.read_plans: list[dict[int, ReadPlan]] = []
+        # per read array: rank -> owned lists snapshot (None entry for
+        # arrays replicated at analysis time).  The lazy interior
+        # derivation must consult this snapshot, never the array's live
+        # layout -- a post-analysis redistribution would otherwise leak
+        # into an estimate frozen under the old layout.
+        self._read_owned: list[dict[int, list[np.ndarray] | None] | None] = []
         for array, refs in zip(self.read_arrays, self.read_refs):
             needed = {
                 r: acc.needed_lists(array, refs, self.iters[r]) for r in self.ranks
             }
             self.needed.append(needed)
             owned = {r: acc.owned_lists(array, r) for r in self.ranks}
+            self._read_owned.append(None if array.replicated else owned)
             plans: dict[int, ReadPlan] = {}
             for me in self.ranks:
                 plans[me] = ReadPlan(array)
@@ -172,6 +195,21 @@ class LoopAnalysis:
         for plans in self.read_plans:
             for me, plan in plans.items():
                 plan.freeze(me)
+        self.has_read_transfers = any(
+            plan.transfer is not None
+            and (plan.transfer.sends or plan.transfer.recvs)
+            for plans in self.read_plans
+            for plan in plans.values()
+        )
+
+        # ---- interior analysis: what can compute before ghosts arrive -----
+        # interior_count(rank) counts the iteration points whose every
+        # rhs read is locally owned by that rank.  These points can be
+        # evaluated while the ghost messages of the same sweep are still
+        # in flight, so the overlap-aware executor splits its Compute op
+        # on this boundary.  Derived lazily per rank (the serialized
+        # executor never asks) and memoized with the cached analysis.
+        self._interior_counts: dict[int, int] = {}
 
         # ---- write analysis: freeze scatter schedules ---------------------
         # write_plans[stmt_idx][rank].  Like the read side, the analysis
@@ -230,12 +268,50 @@ class LoopAnalysis:
 
     # ------------------------------------------------------------------
 
+    def interior_count(self, rank: int) -> int:
+        """Iteration points of ``rank`` whose reads are all locally owned.
+
+        Computed from the exact per-reference index arrays (not the box
+        over-approximation of the needed lists), so the count is what the
+        executor could genuinely evaluate before any ghost arrives.
+        Memoized: the analysis is cached and replayed every sweep.
+        """
+        if rank in self._interior_counts:
+            return self._interior_counts[rank]
+        self._interior_counts[rank] = n = self._derive_interior_count(rank)
+        return n
+
+    def _derive_interior_count(self, rank: int) -> int:
+        iters = self.iters[rank]
+        if iters.empty:
+            return 0
+        mask = np.ones(iters.shape(), dtype=bool)
+        for (array, refs), owned_by_rank in zip(
+            zip(self.read_arrays, self.read_refs), self._read_owned
+        ):
+            if owned_by_rank is None:
+                continue  # replicated at analysis time: reads all local
+            owned = owned_by_rank[rank]
+            if owned is None:
+                return 0  # rank owns nothing: every point waits on ghosts
+            for ref in refs:
+                for k in range(array.ndim):
+                    vals = np.asarray(acc.eval_index(ref.idx[k], iters))
+                    mask = mask & np.isin(vals, owned[k])
+            if not mask.any():
+                return 0
+        return int(np.count_nonzero(mask))
+
     def flops_per_point(self) -> float:
         """Flop estimate per iteration point over the whole body."""
         return float(sum(sa.stmt.rhs.flops() + 1 for sa in self.stmts))
 
     def rank_flops(self, rank: int) -> float:
         return self.iters[rank].count() * self.flops_per_point()
+
+    def rank_interior_flops(self, rank: int) -> float:
+        """Flops of ``rank``'s ghost-independent (interior) points."""
+        return self.interior_count(rank) * self.flops_per_point()
 
 
 def freeze_box_store(array: BaseDistArray, idx_arrays, iters_shape: tuple):

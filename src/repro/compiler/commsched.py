@@ -28,7 +28,11 @@ into one bidirectional abstraction used by every communication layer:
 * :func:`execute_transfer` -- the one vectorized executor all three
   directions replay through: post the precomputed coalesced sends, do
   the local move, scatter incoming messages through the precomputed
-  index arrays.  No request round, no index lists on the wire;
+  index arrays.  No request round, no index lists on the wire.  Its two
+  wire halves, :func:`transfer_sends` and :func:`transfer_recvs`, are
+  exposed separately so an overlap-aware caller (the doall executor in
+  :mod:`repro.compiler.schedule`) can interleave local computation
+  between posting the sends and draining the receives;
 
 * :func:`build_gather_schedule` -- the one-time inspection phase for
   gathers.  It runs the same two-round protocol as ``inspector_gather``
@@ -139,6 +143,21 @@ class TransferSchedule:
     values); ``self_src``/``self_dst`` describe the message-free local
     move.  :func:`execute_transfer` replays any direction against
     caller-supplied ``read``/``write`` functions.
+
+    The doall compiler freezes one gather-direction schedule per read
+    array (``ReadPlan.transfer``) and one scatter-direction schedule per
+    statement with remote writes (``WritePlan.transfer``), so every byte
+    a doall moves -- reads, writes, and redistributions alike -- replays
+    through the same object and executor.
+
+    >>> s = TransferSchedule("scatter", rank=1)
+    >>> s.sends.append((0, [0, 1]))       # send value-vector picks 0,1 to rank 0
+    >>> s.replay_message_count()
+    1
+    >>> TransferSchedule("sideways")
+    Traceback (most recent call last):
+        ...
+    repro.util.errors.ValidationError: unknown transfer direction 'sideways'
     """
 
     __slots__ = (
@@ -224,24 +243,67 @@ class TransferSchedule:
 GatherSchedule = TransferSchedule
 
 
+def transfer_sends(ctx, sched: TransferSchedule, read, tag=None, kind: str = "val"):
+    """First wire half of a transfer: post the precomputed coalesced sends.
+
+    ``read(idx)`` must return the values at source-side index arrays
+    ``idx``.  Sends are asynchronous machine ops: the sender pays only
+    its injection overhead, so a caller may keep computing while the
+    messages are in flight (see :func:`execute_transfer` for the
+    composed serialized path).
+    """
+    me = ctx.rank
+    for dst, src_idx in sched.sends:
+        yield Send(dst, read(src_idx), tag=(tag, kind, me))
+
+
+def transfer_local_move(sched: TransferSchedule, read, write) -> None:
+    """Perform the schedule's message-free local move (if any)."""
+    if sched.self_src is not None:
+        write(sched.self_dst, read(sched.self_src))
+
+
+def transfer_recvs(ctx, sched: TransferSchedule, write, tag=None, kind: str = "val"):
+    """Second wire half of a transfer: drain the precomputed receives.
+
+    ``write(idx, values)`` must store values at destination-side index
+    arrays.  Blocks (in simulated time) until each expected message has
+    arrived; messages are consumed in schedule order.
+    """
+    for src, dst_idx in sched.recvs:
+        values = yield Recv(src=src, tag=(tag, kind, src))
+        write(dst_idx, values)
+
+
 def execute_transfer(ctx, sched: TransferSchedule, read, write,
                      tag=None, kind: str = "val"):
     """Replay any transfer schedule through ``read``/``write`` callables.
 
     ``read(idx)`` must return the values at source-side index arrays
     ``idx``; ``write(idx, values)`` must store values at destination-side
-    index arrays.  The executor posts all precomputed coalesced sends,
-    performs the local move, then consumes incoming messages in schedule
-    order.  Collective over the schedule's peer set; yields machine ops.
+    index arrays.  The executor posts all precomputed coalesced sends
+    (:func:`transfer_sends`), performs the local move, then consumes
+    incoming messages in schedule order (:func:`transfer_recvs`).
+    Collective over the schedule's peer set; yields machine ops.
+
+    A schedule whose moves are all local yields no ops at all:
+
+    >>> import numpy as np
+    >>> from types import SimpleNamespace
+    >>> sched = TransferSchedule("gather", rank=0)
+    >>> sched.self_src = np.array([2, 0])   # read source positions 2, 0 ...
+    >>> sched.self_dst = np.array([0, 1])   # ... into output positions 0, 1
+    >>> src = np.array([10.0, 20.0, 30.0])
+    >>> out = np.zeros(2)
+    >>> list(execute_transfer(SimpleNamespace(rank=0), sched,
+    ...                       src.__getitem__, out.__setitem__))
+    []
+    >>> out
+    array([30., 10.])
     """
-    me = ctx.rank
-    for dst, src_idx in sched.sends:
-        yield Send(dst, read(src_idx), tag=(tag, kind, me))
-    if sched.self_src is not None:
-        write(sched.self_dst, read(sched.self_src))
-    for src, dst_idx in sched.recvs:
-        values = yield Recv(src=src, tag=(tag, kind, src))
-        write(dst_idx, values)
+    yield from transfer_sends(ctx, sched, read, tag=tag, kind=kind)
+    transfer_local_move(sched, read, write)
+    yield from transfer_recvs(ctx, sched, write, tag=tag, kind=kind)
 
 
 # ----------------------------------------------------------------------
@@ -567,6 +629,16 @@ class ScheduleCache:
     again because their key embeds the comm epoch; repartition entries
     key on the layout-spec pair instead and survive redistribution by
     design (that is their reuse story).
+
+    >>> cache = ScheduleCache(max_entries=4)
+    >>> cache.stats()
+    {'entries': 0, 'hits': 0, 'misses': 0, 'evictions': 0}
+    >>> cache.direction_stats()
+    {}
+    >>> ScheduleCache(max_entries=0)
+    Traceback (most recent call last):
+        ...
+    repro.util.errors.ValidationError: ScheduleCache needs max_entries >= 1
     """
 
     def __init__(self, max_entries: int = 256):

@@ -15,8 +15,9 @@ requested values in request order.
 
 When the index pattern is loop-invariant across sweeps, the inspection
 round can be amortized: :mod:`repro.compiler.commsched` records the
-result of one inspection as a first-class
-:class:`~repro.compiler.commsched.GatherSchedule` and replays it with a
+result of one inspection as a first-class gather-direction
+:class:`~repro.compiler.commsched.TransferSchedule` and replays it
+through :func:`~repro.compiler.commsched.execute_transfer` with a
 single round of coalesced value messages.  The helpers below
 (:func:`partition_requests`, :func:`local_locations`, :func:`read_local`)
 are shared by both paths so the schedule replay is bit-identical to a

@@ -3,22 +3,34 @@
 ``execute_doall(ctx, loop)`` is a generator of machine ops implementing
 one rank's share of the loop:
 
-1. send every ``owned ∩ needed(q)`` region (payload snapshotted -> the
-   receiver observes pre-loop values: copy-in);
-2. receive ghost regions into a workspace indexed by the needed lists;
+1. replay the send half of each read array's frozen gather
+   :class:`~repro.compiler.commsched.TransferSchedule` (payload
+   snapshotted -> the receiver observes pre-loop values: copy-in) and
+   perform its local move into the workspace;
+2. replay the receive half: ghost regions land in the workspace through
+   the schedule's precomputed scatter positions;
 3. evaluate all statement right-hand sides vectorized over the local
    iteration box (one Compute op charges the flop count);
-4. replay each statement's frozen scatter
-   :class:`~repro.compiler.commsched.TransferSchedule`: local stores and
-   outgoing remote-write messages read the flat value vector through
-   precomputed selection arrays, incoming messages (values only, no
-   index lists on the wire) land through precomputed local-block
-   coordinates.
+4. replay each statement's frozen scatter TransferSchedule: local
+   stores and outgoing remote-write messages read the flat value vector
+   through precomputed selection arrays, incoming messages (values
+   only, no index lists on the wire) land through precomputed
+   local-block coordinates.
+
+With ``overlap=True`` the executor models communication/computation
+overlap: since the gather sends of phase 1 are asynchronous, the
+iteration points whose reads are all locally owned (the *interior*,
+derived by ``LoopAnalysis.interior_count``) are charged as a Compute op
+*between* phases 1 and 2, so that work proceeds while ghost values are
+in flight; only the remaining boundary points are charged after the
+receives.  The wire content is identical in both modes -- overlap
+changes when time is charged, never what is sent.
 
 Analyses are cached by structural loop key, so loops re-executed every
-iteration (the common case) compile once; both the read-side gather
-plans and the write-side scatter plans replay from the cached analysis
-without re-deriving any index list.
+iteration (the common case) compile once; the read-side gather
+schedules and the write-side scatter schedules both replay from the
+cached analysis through the shared transfer executor without
+re-deriving any index list.
 """
 
 from __future__ import annotations
@@ -30,10 +42,15 @@ import numpy as np
 
 from repro.compiler import access as acc
 from repro.compiler.commgen import LoopAnalysis
-from repro.compiler.commsched import execute_transfer
+from repro.compiler.commsched import (
+    execute_transfer,
+    transfer_local_move,
+    transfer_recvs,
+    transfer_sends,
+)
 from repro.lang.doall import Doall
 from repro.lang.expr import BinOp, Const, Ref
-from repro.machine.ops import Compute, Mark, Recv, Send
+from repro.machine.ops import Compute, Mark
 from repro.util.errors import CompileError
 
 # LRU-bounded: plan keys embed each array's comm_epoch, so a
@@ -135,8 +152,14 @@ def _eval_expr(expr, workspaces: dict[int, _Workspace], iters) -> np.ndarray | f
     raise CompileError(f"cannot evaluate expression {expr!r}")
 
 
-def execute_doall(ctx, loop: Doall):
-    """Yield the machine ops realizing this rank's share of ``loop``."""
+def execute_doall(ctx, loop: Doall, overlap: bool = False):
+    """Yield the machine ops realizing this rank's share of ``loop``.
+
+    With ``overlap=True`` the interior iteration points (reads all
+    locally owned) are charged before the ghost receives, modeling
+    computation proceeding while remote values are in flight; the wire
+    content is unchanged.
+    """
     me = ctx.rank
     if not loop.grid.contains(me):
         raise CompileError(f"rank {me} executing doall outside its grid")
@@ -145,46 +168,69 @@ def execute_doall(ctx, loop: Doall):
     iters = analysis.iters[me]
     kind = "commsched/hit" if reused else "commsched/build"
     yield Mark(kind, payload=("doall", ",".join(v.name for v in loop.vars)))
+    if analysis.has_read_transfers:
+        # the loop's gather schedules replay (or compile) together with
+        # the plan; announce them under their own direction so
+        # per-direction reuse reporting sees the read side
+        yield Mark(kind, payload=("gather", ",".join(
+            plans[me].array.name for plans in analysis.read_plans
+        )))
     if analysis.has_remote_writes:
-        # the loop's remote-write scatter schedules replay (or compile)
-        # together with the plan; announce them under their own
-        # direction so per-direction reuse reporting sees the write side
+        # likewise for the write-side scatter schedules
         yield Mark(kind, payload=("scatter", ",".join(
             sa.lhs_array.name for sa in analysis.stmts
         )))
 
-    # ---- phase 1: ghost sends (pre-write snapshots) ----------------------
-    # The frozen ReadPlan schedules turn each send into one bulk gather.
-    for arr_idx, plans in enumerate(analysis.read_plans):
-        plan = plans[me]
-        array = plan.array
-        if not array.grid.contains(me):
-            continue
-        block = array.local(me)
-        for dst in sorted(plan.send_locs):
-            yield Send(dst, block[plan.send_locs[dst]], tag=(tag, "gh", arr_idx, me))
-
-    # ---- phase 2: assemble workspaces ------------------------------------
+    # ---- phase 1: gather-schedule sends + local moves --------------------
+    # Each read array's frozen gather TransferSchedule replays through
+    # the shared transfer executor: the send half posts pre-write
+    # snapshots (copy-in), the local move copies own data into the
+    # workspace.  Sends for *all* arrays go out before any receive, so
+    # they are in flight together.
     workspaces: dict[int, _Workspace] = {}
+    readers: list[tuple] = []  # (arr_idx, sched, workspace) pending recv halves
     for arr_idx, plans in enumerate(analysis.read_plans):
         plan = plans[me]
         array = plan.array
-        if plan.needed is None:
-            continue  # no iterations here; nothing to read
-        ws = _Workspace(plan.needed, array.dtype)
-        if plan.own_overlap is not None:
-            ws.put_at(plan.own_pos, array.local(me)[plan.own_locs])
-        for src in sorted(plan.recv_pos):
-            values = yield Recv(src=src, tag=(tag, "gh", arr_idx, src))
-            ws.put_at(plan.recv_pos[src], values)
-        workspaces[id(array)] = ws
+        if plan.needed is not None:
+            workspaces[id(array)] = _Workspace(plan.needed, array.dtype)
+        sched = plan.transfer
+        if sched is None:
+            continue
+        ws = workspaces.get(id(array))
+        if sched.sends or sched.self_src is not None:
+            block = array.local(me)
+            read = block.__getitem__
+        else:
+            read = None
+        yield from transfer_sends(ctx, sched, read, tag=tag, kind=f"gh{arr_idx}")
+        if ws is not None:
+            transfer_local_move(sched, read, ws.put_at)
+        if sched.recvs:
+            # recvs are only frozen for ranks with needed data, so a
+            # workspace always exists here
+            readers.append((arr_idx, sched, ws))
 
-    # ---- phase 3: evaluate and write -------------------------------------
+    # ---- phase 1b (overlap): interior compute while ghosts fly -----------
     n_points = iters.count()
-    if n_points:
+    interior = analysis.interior_count(me) if overlap else 0
+    remaining = n_points - interior
+    label = f"doall[{','.join(v.name for v in loop.vars)}]"
+    if interior:
         yield Compute(
-            flops=n_points * analysis.flops_per_point(),
-            label=f"doall[{','.join(v.name for v in loop.vars)}]",
+            flops=interior * analysis.flops_per_point(),
+            label=f"{label}/interior",
+        )
+
+    # ---- phase 2: gather-schedule receives -------------------------------
+    for arr_idx, sched, ws in readers:
+        yield from transfer_recvs(ctx, sched, ws.put_at, tag=tag, kind=f"gh{arr_idx}")
+
+    # ---- phase 3: evaluate (boundary points under overlap) ---------------
+    if remaining:
+        yield Compute(
+            flops=remaining * analysis.flops_per_point(),
+            label=f"{label}/boundary" if interior else label,
         )
 
     stmt_vals: list[np.ndarray | None] = []

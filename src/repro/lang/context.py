@@ -54,11 +54,19 @@ class KaliCtx:
 
     # -- compiled loops ---------------------------------------------------
 
-    def doall(self, loop):
-        """Execute a doall loop; yields machine ops (use ``yield from``)."""
+    def doall(self, loop, overlap: bool = False):
+        """Execute a doall loop; yields machine ops (use ``yield from``).
+
+        With ``overlap=True`` the executor charges the loop's interior
+        iteration points (whose reads are all locally owned) *before*
+        blocking on ghost receives, modeling computation overlapping
+        with in-flight communication; the messages themselves are
+        byte-identical to the serialized mode.  See
+        :func:`repro.compiler.schedule.execute_doall`.
+        """
         from repro.compiler.schedule import execute_doall
 
-        return execute_doall(self, loop)
+        return execute_doall(self, loop, overlap=overlap)
 
     # -- irregular gathers ------------------------------------------------
 
@@ -88,6 +96,22 @@ class KaliCtx:
         replay without re-deriving the moves.  ``cache`` defaults to the
         process-wide :data:`repro.compiler.commsched.DEFAULT_CACHE`.
         Yields machine ops (use ``yield from``).
+
+        >>> import numpy as np
+        >>> from repro.lang import DistArray, ProcessorGrid, run_spmd
+        >>> from repro.machine import Machine
+        >>> grid = ProcessorGrid((2,))
+        >>> A = DistArray((4,), grid, dist=("block",), name="A")
+        >>> A.from_global(np.arange(4.0))
+        >>> def prog(ctx):
+        ...     yield from ctx.redistribute(A, ("cyclic",))
+        >>> trace = run_spmd(Machine(n_procs=2), grid, prog)
+        >>> A.dist.spec_key()
+        (('cyclic',),)
+        >>> A.to_global()                      # values survive the relayout
+        array([0., 1., 2., 3.])
+        >>> sorted(trace.schedule_directions())
+        ['repartition']
         """
         from repro.compiler.commsched import cached_repartition
 

@@ -71,6 +71,21 @@ class CostModel:
             raise ValidationError(f"negative flop count {flops}")
         return self.flop_time * flops
 
+    def overlapped_time(self, compute_s: float, comm_s: float) -> float:
+        """Critical-path time of computation overlapped with communication.
+
+        When a processor can keep computing while messages are in flight
+        (asynchronous sends + a schedule that knows its interior points in
+        advance), the two phases cost their maximum, not their sum -- the
+        longer one hides the shorter.
+
+        >>> CostModel.balanced().overlapped_time(3e-3, 2e-3)
+        0.003
+        """
+        if compute_s < 0 or comm_s < 0:
+            raise ValidationError("overlapped_time needs non-negative phases")
+        return max(compute_s, comm_s)
+
     def scaled(self, **kwargs: float) -> "CostModel":
         """Return a copy with some parameters replaced."""
         return replace(self, **kwargs)

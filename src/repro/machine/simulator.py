@@ -7,6 +7,16 @@ processor is blocked on a receive and no message is in flight, a
 :class:`~repro.util.errors.DeadlockError` is raised naming each blocked
 processor and what it was waiting for -- the failure mode the paper
 calls out as endemic to hand-written message passing code.
+
+Sends are asynchronous: the sender pays only its injection overhead and
+the message flies while the sender keeps executing.  Communication/
+computation overlap therefore falls out of op ordering alone -- a node
+program that yields a Compute op between posting its sends and blocking
+on its receives (the overlap-aware doall executor's split interior/
+boundary Compute ops) advances its clock during the flight time, and a
+later Recv of an already-arrived message costs nothing.  The simulator
+needs no special overlap mode; :meth:`Trace.overlap_fraction` measures
+how much compute the schedule actually hid.
 """
 
 from __future__ import annotations

@@ -12,6 +12,17 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 
+def _merge_intervals(ivals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Union of intervals as a sorted, non-overlapping list."""
+    out: list[tuple[float, float]] = []
+    for lo, hi in sorted(ivals):
+        if out and lo <= out[-1][1]:
+            out[-1] = (out[-1][0], max(out[-1][1], hi))
+        else:
+            out.append((lo, hi))
+    return out
+
+
 @dataclass(frozen=True)
 class ComputeRecord:
     proc: int
@@ -88,6 +99,38 @@ class Trace:
         """Sum of in-flight message times (not wall time)."""
         return sum(m.t_arrive - m.t_send for m in self.messages)
 
+    def overlap_fraction(self) -> float:
+        """Fraction of compute-busy time overlapped with communication.
+
+        For each processor, the portion of its compute intervals during
+        which at least one message *destined to it* was in flight,
+        summed over processors and divided by total busy time.  A
+        serialized executor (all ghosts received before any compute)
+        scores near zero; an overlap-aware executor that computes
+        interior points while ghosts fly scores the hidden fraction.
+        Returns 0.0 when there is no compute at all.
+
+        >>> t = Trace(n_procs=2)
+        >>> t.computes.append(ComputeRecord(proc=1, start=0.0, end=2.0))
+        >>> t.messages.append(MessageRecord(src=0, dst=1, tag="gh", nbytes=8,
+        ...                                 hops=1, t_send=0.0, t_arrive=1.0))
+        >>> t.overlap_fraction()
+        0.5
+        """
+        busy = self.total_busy_time()
+        if busy <= 0.0:
+            return 0.0
+        inbound: dict[int, list[tuple[float, float]]] = {}
+        for m in self.messages:
+            if m.t_arrive > m.t_send:
+                inbound.setdefault(m.dst, []).append((m.t_send, m.t_arrive))
+        merged = {p: _merge_intervals(iv) for p, iv in inbound.items()}
+        overlapped = 0.0
+        for c in self.computes:
+            for lo, hi in merged.get(c.proc, ()):
+                overlapped += max(0.0, min(c.end, hi) - max(c.start, lo))
+        return overlapped / busy
+
     # ------------------------------------------------------------------
     # Communication-schedule reuse (inspector/executor amortization)
     # ------------------------------------------------------------------
@@ -120,6 +163,17 @@ class Trace:
         Pass ``direction`` to restrict to one transfer direction, e.g.
         ``schedule_counts("scatter")`` counts only the doall write-side
         schedule events.
+
+        >>> t = Trace(n_procs=2)
+        >>> t.marks.append(MarkRecord(0, 0.0, "commsched/miss", ("gather", "A")))
+        >>> t.marks.append(MarkRecord(1, 0.1, "commsched/hit", ("gather", "A")))
+        >>> t.marks.append(MarkRecord(0, 0.2, "commsched/hit", ("scatter", "B")))
+        >>> t.schedule_counts("gather")
+        {'miss': 1, 'hit': 1}
+        >>> t.schedule_hit_rate("gather")
+        0.5
+        >>> t.schedule_directions()
+        {'gather': {'miss': 1, 'hit': 1}, 'scatter': {'hit': 1}}
         """
         out: dict[str, int] = {}
         for m in self.schedule_events(direction):

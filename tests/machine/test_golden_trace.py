@@ -90,12 +90,17 @@ def test_golden_doall_stencil_sweeps():
     # split, or pad differently than the original per-sweep derivation.
     assert trace.message_count() == 12
     assert trace.total_bytes() == 96
-    # one plan compile (first rank to execute), every other execution replays
-    assert trace.schedule_counts() == {"build": 1, "hit": p * sweeps - 1}
+    # one plan compile (first rank to execute), every other execution
+    # replays; each execution announces the plan ("doall") and its frozen
+    # gather schedules ("gather") -- the read path's unified direction mark
+    assert trace.schedule_counts() == {"build": 2, "hit": 2 * (p * sweeps - 1)}
+    assert trace.schedule_counts("gather") == {"build": 1, "hit": p * sweeps - 1}
     sched_marks = [(m.label, m.payload) for m in trace.schedule_events()]
     assert sched_marks[0] == ("commsched/build", ("doall", "i"))
+    assert sched_marks[1] == ("commsched/build", ("gather", "u"))
     assert all(
-        mark == ("commsched/hit", ("doall", "i")) for mark in sched_marks[1:]
+        mark in (("commsched/hit", ("doall", "i")), ("commsched/hit", ("gather", "u")))
+        for mark in sched_marks[2:]
     )
 
 

@@ -76,3 +76,26 @@ def test_comm_time_accumulates():
     trace = m.run({0: p0(), 1: p1()})
     assert trace.comm_time() > 0.0
     assert trace.total_bytes() == 8
+
+
+def test_overlap_fraction_counts_compute_during_inbound_flight():
+    from repro.machine.trace import MessageRecord
+
+    t = Trace(n_procs=2)
+    # proc 1 computes [0, 4]; two inbound messages fly [0, 1] and
+    # [0.5, 2] (merged: [0, 2]); an outbound one must not count
+    t.computes.append(ComputeRecord(1, 0.0, 4.0))
+    t.messages.append(MessageRecord(0, 1, "a", 8, 1, 0.0, 1.0))
+    t.messages.append(MessageRecord(0, 1, "b", 8, 1, 0.5, 2.0))
+    t.messages.append(MessageRecord(1, 0, "c", 8, 1, 0.0, 4.0))
+    assert t.overlap_fraction() == 0.5
+
+
+def test_overlap_fraction_empty_and_no_overlap():
+    from repro.machine.trace import MessageRecord
+
+    assert Trace(n_procs=1).overlap_fraction() == 0.0
+    t = Trace(n_procs=2)
+    t.computes.append(ComputeRecord(1, 2.0, 3.0))  # after the flight
+    t.messages.append(MessageRecord(0, 1, "a", 8, 1, 0.0, 1.0))
+    assert t.overlap_fraction() == 0.0

@@ -1,0 +1,69 @@
+"""Documentation health: runnable doctests and unbroken intra-repo links.
+
+Mirrors the CI docs job locally so a broken ``>>>`` example or a moved
+file referenced from ``docs/`` or the README fails tier-1, not just CI.
+"""
+
+import doctest
+import glob
+import importlib
+import importlib.util
+import os
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load_tool(name):
+    path = os.path.join(REPO_ROOT, "tools", f"{name}.py")
+    spec = importlib.util.spec_from_file_location(name, path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+run_doctests = _load_tool("run_doctests")
+check_doc_links = _load_tool("check_doc_links")
+
+
+@pytest.mark.parametrize("module_name", run_doctests.DEFAULT_MODULES)
+def test_public_api_doctests(module_name):
+    mod = importlib.import_module(module_name)
+    result = doctest.testmod(mod, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failure(s) in {module_name}"
+    assert result.attempted > 0, f"no doctest examples found in {module_name}"
+
+
+def _markdown_files():
+    files = sorted(glob.glob(os.path.join(REPO_ROOT, "docs", "*.md")))
+    files.append(os.path.join(REPO_ROOT, "README.md"))
+    return files
+
+
+def test_docs_tree_exists():
+    names = {os.path.basename(p) for p in _markdown_files()}
+    assert "architecture.md" in names
+    assert "schedule-lifecycle.md" in names
+
+
+@pytest.mark.parametrize(
+    "path", _markdown_files(), ids=[os.path.basename(p) for p in _markdown_files()]
+)
+def test_intra_repo_links_resolve(path):
+    broken = check_doc_links.broken_links(path)
+    assert not broken, f"broken links in {path}: {broken}"
+
+
+def test_link_checker_catches_broken_links(tmp_path):
+    """The checker must flag a dead target, and a stray unpaired
+    backtick earlier in the file must not swallow the link."""
+    doc = tmp_path / "x.md"
+    doc.write_text(
+        "a stray ` backtick\n\n[broken](does-not-exist.md)\n\nlater `code` span\n"
+    )
+    broken = check_doc_links.broken_links(str(doc))
+    assert [t for t, _ in broken] == ["does-not-exist.md"]
+    ok = tmp_path / "y.md"
+    ok.write_text("see `[not](a-link.md)` in code, and [real](x.md)\n")
+    assert check_doc_links.broken_links(str(ok)) == []

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo markdown links (the docs CI job).
+
+Scans ``[text](target)`` links in the given markdown files.  External
+targets (``http(s)://``, ``mailto:``) and pure in-page anchors
+(``#...``) are skipped; every other target must resolve, relative to
+the linking file, to an existing file or directory in the repo.
+
+Usage: python tools/check_doc_links.py docs/*.md README.md
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Inline code spans may contain bracket-paren sequences that are not
+#: links; strip fenced/inline code before scanning.  Inline spans must
+#: not cross lines, or one stray backtick would pair with the next
+#: backtick pages later and silently swallow genuine links.
+CODE_RE = re.compile(r"```.*?```|`[^`\n]*`", re.DOTALL)
+
+
+def broken_links(path: str) -> list[tuple[str, str]]:
+    with open(path, encoding="utf-8") as fh:
+        text = CODE_RE.sub("", fh.read())
+    out = []
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            continue
+        rel = target.split("#", 1)[0]
+        resolved = os.path.normpath(os.path.join(os.path.dirname(path), rel))
+        if not os.path.exists(resolved):
+            out.append((target, resolved))
+    return out
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_doc_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    bad = 0
+    for path in argv:
+        broken = broken_links(path)
+        for target, resolved in broken:
+            print(f"{path}: broken link {target!r} -> {resolved}", file=sys.stderr)
+        bad += len(broken)
+        print(f"{path}: {'BROKEN' if broken else 'ok'}")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -28,27 +28,23 @@ try:
 except ModuleNotFoundError:  # invoked as a script: python benchmarks/bench_...
     sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
     from benchmarks._report import report
-from repro.compiler import clear_plan_cache, estimate_doall
-from repro.lang import DistArray, ProcessorGrid, run_spmd
+import repro
+from repro.lang import DistArray, ProcessorGrid
 from repro.machine import Machine
 from repro.machine.costmodel import CostModel
 from repro.tensor.jacobi import build_jacobi_loop
 
 
 def _run(n, p, sweeps, f, cost, overlap):
-    clear_plan_cache()
     grid = ProcessorGrid((p, p))
     X = DistArray((n, n), grid, dist=("block", "block"), name="X")
     F = DistArray((n, n), grid, dist=("block", "block"), name="F")
     F.from_global(f)
     loop = build_jacobi_loop(X, F, n - 1, grid)
-
-    def prog(ctx):
-        for _ in range(sweeps):
-            yield from ctx.doall(loop, overlap=overlap)
-
-    trace = run_spmd(Machine(n_procs=p * p, cost=cost), grid, prog)
-    return X.to_global(), trace, loop
+    # two-phase API: compile freezes the schedules, run replays them
+    program = repro.compile(loop, machine=Machine(n_procs=p * p, cost=cost))
+    trace = program.run(iters=sweeps, overlap=overlap)
+    return X.to_global(), trace, program
 
 
 def run(n=49, p=2, sweeps=8):
@@ -56,10 +52,10 @@ def run(n=49, p=2, sweeps=8):
     rng = np.random.default_rng(23)
     f = 1e-3 * rng.standard_normal((n, n))
 
-    x_ser, t_ser, loop = _run(n, p, sweeps, f, cost, overlap=False)
-    x_ovl, t_ovl, loop_o = _run(n, p, sweeps, f, cost, overlap=True)
+    x_ser, t_ser, prog_s = _run(n, p, sweeps, f, cost, overlap=False)
+    x_ovl, t_ovl, prog_o = _run(n, p, sweeps, f, cost, overlap=True)
 
-    est = estimate_doall(loop_o)
+    est = prog_o.loop_estimates()[0]
     pred_ser = est.predicted_time(cost)
     pred_ovl = est.predicted_time(cost, overlap=True)
     sim_ser = t_ser.makespan() / sweeps

@@ -25,8 +25,8 @@ try:
 except ModuleNotFoundError:  # invoked as a script: python benchmarks/bench_...
     sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
     from benchmarks._report import report
-from repro.compiler import ScheduleCache
-from repro.lang import DistArray, ProcessorGrid, run_spmd
+from repro.lang import DistArray, ProcessorGrid
+from repro.session import Session
 from repro.lang.dist import Distribution
 from repro.machine import Machine
 from repro.machine.costmodel import CostModel
@@ -42,14 +42,14 @@ def _run_scheduled(p, n, flips):
     grid = ProcessorGrid((p,))
     A = DistArray((n,), grid, dist=("block",), name="A")
     A.from_global(np.sin(np.arange(n) * 0.05))
-    cache = ScheduleCache()
+    session = Session(machine, grid)
 
     def prog(ctx):
         for dist in _layout_cycle(flips):
-            yield from ctx.redistribute(A, dist, cache=cache)
+            yield from ctx.redistribute(A, dist)
 
-    trace = run_spmd(machine, grid, prog)
-    return A, trace, cache
+    trace = session.run(prog)
+    return A, trace, session.cache
 
 
 def _run_gather_to_all(p, n, flips):
@@ -83,7 +83,7 @@ def _run_gather_to_all(p, n, flips):
             yield Barrier(group=tuple(grid.linear), tag=("g2a", step))
             A._commit_repartition(target, ("g2a", step))
 
-    trace = run_spmd(machine, grid, prog)
+    trace = Session(machine, grid).run(prog)
     return A, trace
 
 

@@ -26,8 +26,9 @@ try:
 except ModuleNotFoundError:  # invoked as a script: python benchmarks/bench_...
     sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
     from benchmarks._report import report
-from repro.compiler import ScheduleCache, inspector_gather
-from repro.lang import DistArray, ProcessorGrid, run_spmd
+from repro.compiler import inspector_gather
+from repro.lang import DistArray, ProcessorGrid
+from repro.session import Session
 from repro.machine import Barrier, Machine
 from repro.machine.costmodel import CostModel
 
@@ -52,7 +53,7 @@ def _run(p, n, sweeps, idx, cached):
     grid = ProcessorGrid((p,))
     A = DistArray((n,), grid, dist=("block",), name="A")
     A.from_global(np.sin(np.arange(n) * 0.1))
-    cache = ScheduleCache()
+    session = Session(machine, grid)
     group = tuple(grid.linear)
     results = {r: [] for r in range(p)}
 
@@ -60,7 +61,7 @@ def _run(p, n, sweeps, idx, cached):
         me = ctx.rank
         for sweep in range(sweeps):
             if cached:
-                vals = yield from ctx.cached_gather(grid, A, idx[me], cache=cache)
+                vals = yield from ctx.cached_gather(grid, A, idx[me])
             else:
                 vals = yield from inspector_gather(ctx, grid, A, idx[me])
             results[me].append(vals)
@@ -70,8 +71,8 @@ def _run(p, n, sweeps, idx, cached):
             A.local(me)[...] += 0.25 * (me + 1)
             yield Barrier(group=group, tag=("post-mutate", sweep))
 
-    trace = run_spmd(machine, grid, prog)
-    return results, trace, cache
+    trace = session.run(prog)
+    return results, trace, session.cache
 
 
 def run(p=8, n=256, sweeps=6, per_rank=32):

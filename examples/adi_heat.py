@@ -17,7 +17,6 @@ Run:  python examples/adi_heat.py
 import numpy as np
 
 from repro import CostModel, Machine, ProcessorGrid
-from repro.compiler import clear_plan_cache
 from repro.tensor.adi import adi_reference, adi_solve
 from repro.tensor.poisson import Coeffs2D, residual_norm_2d
 
@@ -49,7 +48,6 @@ def main():
     cost = CostModel.hypercube_1989()
     results = {}
     for pipelined in (False, True):
-        clear_plan_cache()
         machine = Machine(n_procs=16, cost=cost)
         grid = ProcessorGrid((4, 4))
         u, trace = adi_solve(

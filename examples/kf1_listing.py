@@ -2,20 +2,22 @@
 """Run a KF1 program written in the paper's own surface syntax.
 
 The library ships a front end for the KF1 subset the listings use, so
-Listing 3 can be executed nearly verbatim: processor declaration,
-distribution clauses, and the doall with its on clause are all parsed
-from text, compiled, and run on the simulated machine.  The example
-also re-runs the same source with an edited distribution clause -- the
-paper's "tuning by declaration" workflow, at the level of program text.
+Listing 3 can be executed nearly verbatim: ``repro.compile`` parses the
+processor declaration, distribution clauses, and the doall with its on
+clause straight from text, freezes the communication schedules, and
+returns a Program whose ``run(**bindings)`` launches it on the simulated
+machine.  The example also re-compiles the same source with an edited
+distribution clause -- the paper's "tuning by declaration" workflow, at
+the level of program text -- and prints each compile's predicted message
+pattern next to what actually executed.
 
-Run:  python examples/kf1_listing.py
+Run:  PYTHONPATH=src python examples/kf1_listing.py
 """
 
 import numpy as np
 
-from repro import CostModel, Machine, run_spmd
-from repro.compiler import clear_plan_cache, estimate_doall
-from repro.lang.kf1 import parse_program
+import repro
+from repro import CostModel, Machine
 from repro.tensor.jacobi import jacobi_reference
 
 LISTING_3 = """
@@ -40,29 +42,29 @@ def main():
     x_ref = jacobi_reference(f, iters)
 
     for dist in ("block, block", "cyclic, cyclic"):
-        clear_plan_cache()
         source = LISTING_3.replace("{DIST}", dist)
-        program = parse_program(source)
-        program.arrays["f"].from_global(f)
-        loop = program.loops[0]
-
-        est = estimate_doall(loop)
-        machine = Machine(n_procs=program.grid.size, cost=cost)
-
-        def spmd(ctx):
-            for _ in range(iters):
-                yield from ctx.doall(loop)
-
-        trace = run_spmd(machine, program.grid, spmd)
+        # compile: parse + freeze the communication schedules (each
+        # compile gets its own Session, so the two layouts never share
+        # cached plans)
+        program = repro.compile(
+            source, machine=Machine(n_procs=4, cost=cost)
+        )
+        est = program.loop_estimates()[0]
+        trace = program.run(f=f, iters=iters)
         ok = np.allclose(program.arrays["X"].to_global(), x_ref)
         print(f"dist ({dist})")
         print(f"   matches sequential reference: {ok}")
         print(f"   estimator: {est.total_messages()} msgs/sweep, "
               f"{est.total_bytes()} bytes/sweep, "
-              f"predicted {est.predicted_time(cost) * iters:.4f}s")
+              f"predicted {program.estimate(cost) * iters:.4f}s")
         print(f"   executed:  {trace.message_count()} msgs total, "
               f"{trace.total_bytes()} bytes, makespan {trace.makespan():.4f}s")
         print()
+
+    # the compile-time message pattern, without running anything
+    program = repro.compile(LISTING_3.replace("{DIST}", "block, block"))
+    print("compile-time message pattern (dist block, block):")
+    print(program.explain())
 
 
 if __name__ == "__main__":

@@ -15,7 +15,6 @@ Run:  python examples/multigrid3d_poisson.py
 import numpy as np
 
 from repro import CostModel, Machine, ProcessorGrid
-from repro.compiler import clear_plan_cache
 from repro.tensor.multigrid3d import mg3_reference, mg3_solve
 from repro.tensor.poisson import manufactured_3d, residual_norm_3d
 
@@ -39,7 +38,6 @@ def main():
         (("*", "block", "block"), (2, 2)),
         (("*", "*", "block"), (4,)),
     ]:
-        clear_plan_cache()
         machine = Machine(n_procs=4, cost=cost)
         grid = ProcessorGrid(shape)
         u, trace = mg3_solve(machine, grid, f, cycles=2, dist=dist)
@@ -54,7 +52,6 @@ def main():
     print("    distributions are tuned by editing one declaration)")
 
     print("\n== zebra plane schedule (Mark events of one V-cycle) ==")
-    clear_plan_cache()
     machine = Machine(n_procs=4, cost=cost)
     _, trace = mg3_solve(machine, ProcessorGrid((2, 2)), f, cycles=1)
     planes = trace.active_procs_by_payload("mg3/plane")

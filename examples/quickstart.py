@@ -4,20 +4,40 @@
 Runs Listing 1 (sequential), Listing 2 (hand-written message passing)
 and Listing 3 (KF1: distributed arrays + doall, compiler-generated
 communication) on the same Poisson problem and shows that they produce
-identical iterates, then prints the simulated machine's view of the
-KF1 run: makespan, utilization, the schedule-replay summary (the doall
-compiles its communication once and replays it on all later sweeps --
-see docs/schedule-lifecycle.md), and the message pattern the compiler
-derived from the distribution clause alone.
+identical iterates.  Listing 3 goes through the two-phase API: a
+Session owns the caches, ``repro.compile`` freezes the communication
+schedules from the distribution clauses alone (``explain()`` prints the
+message pattern before anything runs), and ``Program.run`` replays them
+on every launch -- the second run is pure cache hits.  See docs/api.md
+for the lifecycle and docs/schedule-lifecycle.md for the cache rules.
 
 Run:  PYTHONPATH=src python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import CostModel, Machine, ProcessorGrid
+import repro
+from repro import CostModel, Machine, Session
 from repro.baselines import jacobi_message_passing, jacobi_sequential
-from repro.tensor.jacobi import jacobi_kf1
+
+LISTING_3 = """
+processors procs({P}, {P})
+real X(0:{N}, 0:{N}) dist ({DIST})
+real f(0:{N}, 0:{N}) dist ({DIST})
+
+doall (i, j) = [1, {M}] * [1, {M}] on owner(X(i, j))
+  X(i, j) = 0.25*(X(i+1, j) + X(i-1, j) + X(i, j+1) + X(i, j-1)) - f(i, j)
+end doall
+"""
+
+
+def listing3(n, p, dist="block, block"):
+    return (
+        LISTING_3.replace("{P}", str(p))
+        .replace("{N}", str(n))
+        .replace("{M}", str(n - 1))
+        .replace("{DIST}", dist)
+    )
 
 
 def main():
@@ -41,31 +61,56 @@ def main():
     print(f"   identical to sequential: {np.allclose(x_mp, x_seq)}")
     print(f"   makespan {t_mp.makespan():.4f}s, messages {t_mp.message_count()}")
 
-    print("== Listing 3: KF1 (doall + distribution clause) ==")
-    machine = Machine(n_procs=p * p, cost=CostModel.hypercube_1989())
-    grid = ProcessorGrid((p, p))
-    x_kf1, t_kf1 = jacobi_kf1(machine, grid, f, iters)
+    print("== Listing 3: KF1, compiled and run ==")
+    # Phase 1 -- compile: the Session owns the caches; the program's
+    # communication schedules are frozen here, before anything runs.
+    session = Session(Machine(n_procs=p * p, cost=CostModel.hypercube_1989()))
+    program = repro.compile(listing3(n, p), session=session)
+    print("   message pattern, derived from the dist clause alone:")
+    for line in program.explain().splitlines():
+        print(f"     {line}")
+    print(f"   predicted time for {iters} sweeps: "
+          f"{program.estimate() * iters:.4f}s")
+
+    # Phase 2 -- run: bindings load the arrays, the frozen schedules
+    # replay on every sweep.
+    t_kf1 = program.run(f=f, iters=iters)
+    x_kf1 = program.arrays["X"].to_global()
     print(f"   identical to sequential: {np.allclose(x_kf1, x_seq)}")
     print(f"   makespan {t_kf1.makespan():.4f}s, messages {t_kf1.message_count()}")
     print(f"   utilization {t_kf1.utilization():.2%}")
 
-    print("\nSchedule replay (the inspector/executor amortization):")
+    print("\nSchedule replay (the compile-once/run-many amortization):")
     print(f"   events by direction: {t_kf1.schedule_directions()}")
     for direction in sorted(t_kf1.schedule_directions()):
         print(
             f"   hit rate [{direction:7s}]: "
             f"{t_kf1.schedule_hit_rate(direction):.3f}"
         )
+    print(f"   session stats: {program.stats()['plans']}")
     print(
-        f"   -> the loop's communication compiled once; the other "
-        f"{iters - 1} sweeps replayed the frozen TransferSchedules"
+        "   -> the loop compiled once (at repro.compile); every sweep of "
+        "every run replays the frozen TransferSchedules"
     )
+
+    # A second run on the same Program re-binds nothing and replays
+    # everything -- zero compiles, bit-identical results.
+    x_first = x_kf1.copy()
+    program.arrays["X"].from_global(np.zeros_like(f))
+    t_again = program.run(iters=iters)
+    x_again = program.arrays["X"].to_global()
+    print("\nSecond run of the same Program (warm schedules):")
+    print(f"   bit-identical results: {np.array_equal(x_again, x_first)}")
+    print(f"   gather hit rate: {t_again.schedule_hit_rate('gather'):.3f}")
 
     print("\nOverlap-aware executor (same messages, interior points")
     print("computed while ghosts are in flight):")
-    machine = Machine(n_procs=p * p, cost=CostModel.hypercube_1989())
-    x_ovl, t_ovl = jacobi_kf1(machine, grid, f, iters, overlap=True)
-    print(f"   identical results: {np.array_equal(x_ovl, x_kf1)}")
+    t_ovl = program.run(
+        X=np.zeros_like(f), iters=iters, overlap=True,
+        machine=Machine(n_procs=p * p, cost=CostModel.hypercube_1989()),
+    )
+    x_ovl = program.arrays["X"].to_global()
+    print(f"   identical results: {np.array_equal(x_ovl, x_first)}")
     print(
         f"   makespan {t_ovl.makespan():.4f}s "
         f"({t_kf1.makespan() / t_ovl.makespan():.2f}x faster), "
@@ -77,13 +122,15 @@ def main():
     print(t_kf1.gantt(width=60))
 
     print("\nThe paper's tuning claim: change only the dist clause.")
-    for dist in [("block", "block"), ("block", "*"), ("cyclic", "cyclic")]:
-        machine = Machine(n_procs=p * p, cost=CostModel.hypercube_1989())
-        grid = ProcessorGrid((p, p)) if "*" not in dist else ProcessorGrid((p * p,))
-        x, t = jacobi_kf1(machine, grid, f, iters, dist=dist)
-        ok = np.allclose(x, x_seq)
+    for dist in ("block, block", "cyclic, cyclic"):
+        prog = repro.compile(
+            listing3(n, p, dist),
+            machine=Machine(n_procs=p * p, cost=CostModel.hypercube_1989()),
+        )
+        t = prog.run(f=f, iters=iters)
+        ok = np.allclose(prog.arrays["X"].to_global(), x_seq)
         print(
-            f"   dist {str(dist):24s} same answer: {ok}   "
+            f"   dist ({dist:14s}) same answer: {ok}   "
             f"bytes moved: {t.total_bytes():>8d}   makespan: {t.makespan():.4f}s"
         )
 

@@ -19,17 +19,22 @@ Layers (see DESIGN.md):
 * :mod:`repro.baselines` -- sequential and hand-message-passing
   comparison codes.
 
-Quickstart::
+Quickstart (the two-phase compile-and-run API; see docs/api.md)::
 
     import numpy as np
-    from repro import Machine, ProcessorGrid
-    from repro.tensor import jacobi_kf1
+    import repro
 
-    machine = Machine(n_procs=4)
-    grid = ProcessorGrid((2, 2))
-    f = np.zeros((65, 65))
-    x, trace = jacobi_kf1(machine, grid, f, iters=10)
-    print(trace.summary())
+    session = repro.Session(repro.Machine(n_procs=4))
+    program = repro.compile('''
+        processors procs(2, 2)
+        real X(0:64, 0:64) dist (block, block)
+        real f(0:64, 0:64) dist (block, block)
+        doall (i, j) = [1, 63] * [1, 63] on owner(X(i, j))
+          X(i, j) = 0.25*(X(i+1, j) + X(i-1, j) + X(i, j+1) + X(i, j-1)) - f(i, j)
+        end doall
+    ''', session=session)
+    trace = program.run(f=np.zeros((65, 65)), iters=10)
+    print(trace.summary(), program.stats()["hit_rates"])
 """
 
 from repro.machine import (
@@ -58,16 +63,19 @@ from repro.lang import (
     DistArray,
     Distribution,
     Doall,
+    KF1Program,
     KaliCtx,
     OnProc,
     Owner,
     ProcessorGrid,
     Star,
     loopvars,
+    parse_program,
     run_spmd,
 )
 from repro.compiler import (
     GatherSchedule,
+    PlanCache,
     ScheduleCache,
     build_gather_schedule,
     cached_inspector_gather,
@@ -76,19 +84,23 @@ from repro.compiler import (
     execute_gather,
     inspector_gather,
 )
+from repro.session import Program, Session, compile, default_session
 from repro.util.errors import (
     CompileError,
     DeadlockError,
     DistributionError,
     MachineError,
+    ReproDeprecationWarning,
     ReproError,
     ValidationError,
 )
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "__version__",
+    # sessions and programs (the two-phase compile-and-run API)
+    "Session", "Program", "compile", "default_session",
     # machine
     "Machine", "CostModel", "Trace",
     "Complete", "Line", "Ring", "Mesh2D", "Torus2D", "Hypercube",
@@ -97,12 +109,15 @@ __all__ = [
     "ProcessorGrid", "DistArray", "Distribution",
     "Block", "Cyclic", "BlockCyclic", "Star",
     "Doall", "Owner", "OnProc", "Assign", "loopvars",
-    "KaliCtx", "run_spmd",
+    "KaliCtx", "KF1Program", "parse_program",
     # compiler
     "estimate_doall", "inspector_gather",
-    "GatherSchedule", "ScheduleCache", "build_gather_schedule",
+    "GatherSchedule", "ScheduleCache", "PlanCache", "build_gather_schedule",
     "execute_gather", "cached_inspector_gather", "clear_schedule_cache",
+    # deprecated shims
+    "run_spmd",
     # errors
     "ReproError", "MachineError", "DeadlockError",
     "DistributionError", "CompileError", "ValidationError",
+    "ReproDeprecationWarning",
 ]

@@ -43,7 +43,14 @@ repeated layout flips replay forever; scatter schedules ride in the
 structurally-keyed doall plan cache.
 """
 
-from repro.compiler.schedule import execute_doall, clear_plan_cache, drop_plan
+from repro.compiler.schedule import (
+    DEFAULT_PLANS,
+    PlanCache,
+    clear_plan_cache,
+    drop_plan,
+    execute_doall,
+    plans_of,
+)
 from repro.compiler.estimate import estimate_doall, LoopEstimate
 from repro.compiler.inspector import inspector_gather
 from repro.compiler.commsched import (
@@ -67,6 +74,9 @@ from repro.compiler.commsched import (
 
 __all__ = [
     "execute_doall",
+    "PlanCache",
+    "DEFAULT_PLANS",
+    "plans_of",
     "clear_plan_cache",
     "drop_plan",
     "estimate_doall",

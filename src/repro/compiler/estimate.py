@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable
 
-from repro.compiler.schedule import get_analysis
+from repro.compiler.schedule import DEFAULT_PLANS, PlanCache
 from repro.lang.doall import Doall
 from repro.machine.costmodel import CostModel
 
@@ -181,9 +181,25 @@ def _lists_nbytes(lists, itemsize: int) -> int:
     return n * itemsize
 
 
-def estimate_doall(loop: Doall) -> LoopEstimate:
-    """Predict the communication and computation of one doall loop."""
-    analysis, _ = get_analysis(loop)
+def estimate_doall(
+    loop: Doall, plans: PlanCache | None = None, count: bool = True
+) -> LoopEstimate:
+    """Predict the communication and computation of one doall loop.
+
+    ``plans`` selects the plan cache the analysis is compiled into (a
+    Session's, via ``Program.estimate``); the default plan cache is used
+    when omitted, so estimating and then executing the same loop shares
+    one compile.  ``count=False`` keeps a cached lookup out of the hit
+    statistics (a static estimate is not a replay).
+    """
+    analysis, _ = (plans if plans is not None else DEFAULT_PLANS).analysis(
+        loop, count=count
+    )
+    return estimate_from_analysis(analysis)
+
+
+def estimate_from_analysis(analysis) -> LoopEstimate:
+    """Build the per-rank estimate from an already-compiled analysis."""
     out = LoopEstimate()
     for rank in analysis.ranks:
         iters = analysis.iters[rank]

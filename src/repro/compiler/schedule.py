@@ -35,8 +35,9 @@ re-deriving any index list.
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -47,69 +48,188 @@ from repro.compiler.commsched import (
     transfer_local_move,
     transfer_recvs,
     transfer_sends,
+    uid_chain,
 )
 from repro.lang.doall import Doall
 from repro.lang.expr import BinOp, Const, Ref
 from repro.machine.ops import Compute, Mark
-from repro.util.errors import CompileError
+from repro.util.errors import CompileError, ValidationError
 
-# LRU-bounded: plan keys embed each array's comm_epoch, so a
-# redistribution orphans the old entries; they are purged eagerly by
-# drop_plans_for_array and, as a backstop, evicted once the cache
-# exceeds the cap.  Eviction is always safe -- analyses are derived
-# deterministically and locally, so a rank recompiling what another
-# rank still has cached produces identical communication.
-_PLAN_CACHE: OrderedDict[Any, LoopAnalysis] = OrderedDict()
-_PLAN_CACHE_MAX = 4096
+#: Every live PlanCache (including session-owned ones), so that
+#: layout-invalidation hooks (``drop_plans_for_array``) reach plans no
+#: matter which Session compiled them.  Weak: a Session's caches die
+#: with the Session.
+_ALL_PLAN_CACHES: "weakref.WeakSet[PlanCache]" = weakref.WeakSet()
+
+
+def _loop_uids(loop: Doall) -> tuple:
+    """uids of every array (and section base) the loop touches."""
+    out: set[int] = set()
+    for arr in loop.arrays():
+        out.update(uid_chain(arr))
+    return tuple(out)
+
+
+class PlanCache:
+    """Keyed store of compiled plans with per-kind hit/miss accounting.
+
+    Holds every *locally derivable* compiled artifact: doall loop
+    analyses (kind ``"doall"`` -- these carry the frozen gather/scatter
+    :class:`~repro.compiler.commsched.TransferSchedule` objects) and the
+    ADI line-solve plans (kind ``"adi-line"``,
+    :mod:`repro.tensor.adi`).  Wire schedules that need a collective
+    build protocol live in the companion
+    :class:`~repro.compiler.commsched.ScheduleCache` instead.
+
+    Entries are LRU-bounded: plan keys embed each array's ``comm_epoch``
+    (and uid), so a redistribution orphans the old entries; they are
+    purged eagerly by :func:`drop_plans_for_array` and, as a backstop,
+    evicted once the cache exceeds the cap.  Eviction is always safe --
+    plans are derived deterministically and locally, so a rank
+    recompiling what another rank still has cached produces identical
+    communication.
+
+    >>> cache = PlanCache(max_entries=8)
+    >>> cache.get("demo", ("k",), lambda: 42)
+    (42, False)
+    >>> cache.get("demo", ("k",), lambda: 43)   # replays the cached plan
+    (42, True)
+    >>> cache.kind_stats()
+    {'demo': {'hits': 1, 'misses': 1}}
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries <= 0:
+            raise ValidationError("PlanCache needs max_entries >= 1")
+        self.max_entries = max_entries
+        # (kind, key) -> (plan, uids of the arrays the plan was built on)
+        self._entries: OrderedDict[tuple, tuple[Any, tuple]] = OrderedDict()
+        #: per-kind hit/miss counters, e.g. ``{"doall": {"hits": 9,
+        #: "misses": 1}}``
+        self.by_kind: dict[str, dict[str, int]] = {}
+        _ALL_PLAN_CACHES.add(self)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _count(self, kind: str, outcome: str) -> None:
+        d = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0})
+        d[outcome] += 1
+
+    def get(self, kind: str, key, build: Callable[[], Any], uids=(),
+            count: bool = True) -> tuple[Any, bool]:
+        """Cached plan under ``(kind, key)``; returns ``(plan, was_cached)``.
+
+        On a miss ``build()`` derives the plan, which is stored tagged
+        with ``uids`` (the arrays it depends on) so
+        :meth:`drop_for_array` can purge it on redistribution; pass a
+        zero-argument callable to defer that derivation to the miss
+        path and keep hits walk-free.  ``count=False`` makes a
+        read-only peek: the hit counter stays untouched, so
+        static-analysis lookups (estimates, explain) do not inflate the
+        replay statistics.  A miss always counts -- it did the compile
+        work.
+        """
+        k = (kind, key)
+        entry = self._entries.get(k)
+        if entry is not None:
+            self._entries.move_to_end(k)
+            if count:
+                self._count(kind, "hits")
+            return entry[0], True
+        plan = build()
+        self._count(kind, "misses")
+        self._entries[k] = (plan, tuple(uids() if callable(uids) else uids))
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return plan, False
+
+    def analysis(self, loop: Doall, count: bool = True) -> tuple[LoopAnalysis, bool]:
+        """Cached :class:`LoopAnalysis` of ``loop``; ``(analysis, was_cached)``.
+
+        The structural key is computed once here -- it walks the whole
+        loop body, so the replay path must not derive it twice per
+        execution.
+        """
+        # uids deferred to the miss path: a replay must pay for one
+        # loop-body walk (the key), never two
+        return self.get(
+            "doall", loop.key(), lambda: LoopAnalysis(loop),
+            uids=lambda: _loop_uids(loop), count=count,
+        )
+
+    def clear_kind(self, kind: str) -> int:
+        """Drop every plan of one kind; returns the count removed."""
+        doomed = [k for k in self._entries if k[0] == kind]
+        for k in doomed:
+            del self._entries[k]
+        return len(doomed)
+
+    def drop(self, kind: str, key) -> None:
+        self._entries.pop((kind, key), None)
+
+    def drop_loop(self, loop: Doall) -> None:
+        self.drop("doall", loop.key())
+
+    def drop_for_array(self, array) -> int:
+        """Purge every plan built against ``array`` (or a section of
+        it); returns the count.  Called on redistribution so orphaned
+        plans (their keys embed the old comm epoch) do not accumulate.
+        """
+        uid = array.uid
+        doomed = [k for k, (_, uids) in self._entries.items() if uid in uids]
+        for k in doomed:
+            del self._entries[k]
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.by_kind = {}
+
+    def stats(self) -> dict[str, int]:
+        hits = sum(d["hits"] for d in self.by_kind.values())
+        misses = sum(d["misses"] for d in self.by_kind.values())
+        return {"entries": len(self._entries), "hits": hits, "misses": misses}
+
+    def kind_stats(self) -> dict[str, dict[str, int]]:
+        """Per-kind hit/miss counters (kinds seen so far)."""
+        return {k: dict(v) for k, v in self.by_kind.items()}
+
+
+#: Plan cache behind the implicit default Session (the deprecated
+#: ``run_spmd`` / hand-wired ``KaliCtx`` path).  Sessions own their own
+#: PlanCache; see :mod:`repro.session`.
+DEFAULT_PLANS = PlanCache()
+
+
+def plans_of(ctx) -> PlanCache:
+    """The plan cache governing ``ctx``: its Session's, else the default."""
+    session = getattr(ctx, "session", None)
+    return DEFAULT_PLANS if session is None else session.plans
 
 
 def clear_plan_cache() -> None:
-    """Drop all cached loop analyses (mostly for tests)."""
-    _PLAN_CACHE.clear()
+    """Reset the default plan cache -- doall analyses *and* every other
+    plan kind riding in it, e.g. the ADI line plans (mostly for tests).
+    Session-owned caches are unaffected; clear those per session."""
+    DEFAULT_PLANS.clear()
 
 
 def drop_plan(loop: Doall) -> None:
-    """Forget one loop's cached analysis (``Doall.invalidate_plan`` hook)."""
-    _PLAN_CACHE.pop(loop.key(), None)
-
-
-def _involves_array(analysis: LoopAnalysis, array) -> bool:
-    for arr in analysis.loop.arrays():
-        a = arr
-        while a is not None:
-            if a is array:
-                return True
-            a = getattr(a, "base", None)
-    return False
+    """Forget one loop's cached analysis in *every* live plan cache
+    (``Doall.invalidate_plan`` hook)."""
+    for cache in list(_ALL_PLAN_CACHES):
+        cache.drop_loop(loop)
 
 
 def drop_plans_for_array(array) -> int:
-    """Purge every cached analysis referencing ``array`` (or a section
-    of it); returns the count.  Called on redistribution so orphaned
-    plans (their keys embed the old comm epoch) do not accumulate.
-    """
-    doomed = [k for k, a in _PLAN_CACHE.items() if _involves_array(a, array)]
-    for k in doomed:
-        del _PLAN_CACHE[k]
-    return len(doomed)
+    """Purge plans referencing ``array`` from every live plan cache."""
+    return sum(cache.drop_for_array(array) for cache in list(_ALL_PLAN_CACHES))
 
 
 def get_analysis(loop: Doall) -> tuple[LoopAnalysis, bool]:
-    """Cached analysis of ``loop``; returns ``(analysis, was_cached)``.
-
-    The structural key is computed once here -- it walks the whole loop
-    body, so the replay path must not derive it twice per execution.
-    """
-    key = loop.key()
-    analysis = _PLAN_CACHE.get(key)
-    if analysis is None:
-        analysis = LoopAnalysis(loop)
-        _PLAN_CACHE[key] = analysis
-        while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
-            _PLAN_CACHE.popitem(last=False)
-        return analysis, False
-    _PLAN_CACHE.move_to_end(key)
-    return analysis, True
+    """Cached analysis of ``loop`` in the default plan cache."""
+    return DEFAULT_PLANS.analysis(loop)
 
 
 class _Workspace:
@@ -163,7 +283,7 @@ def execute_doall(ctx, loop: Doall, overlap: bool = False):
     me = ctx.rank
     if not loop.grid.contains(me):
         raise CompileError(f"rank {me} executing doall outside its grid")
-    analysis, reused = get_analysis(loop)
+    analysis, reused = plans_of(ctx).analysis(loop)
     tag = ctx.next_tag(loop.grid)
     iters = analysis.iters[me]
     kind = "commsched/hit" if reused else "commsched/build"

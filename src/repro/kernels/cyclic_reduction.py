@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.machine.ops import Compute, Recv, Send
 from repro.machine.simulator import Machine
+from repro.session import launch
 from repro.util.errors import ValidationError
 from repro.util.indexing import block_bounds
 
@@ -230,6 +231,7 @@ def distributed_cyclic_reduction(
     f: np.ndarray,
     p: int,
     machine: Machine | None = None,
+    session=None,
 ):
     """Run block-distributed cyclic reduction; returns (x, trace)."""
     n = len(a)
@@ -255,7 +257,7 @@ def distributed_cyclic_reduction(
         }
         return cr_node_program(rank, p, n, rows, out, levels_meta)
 
-    trace = machine.run({r: make(r) for r in range(p)})
+    trace = launch({r: make(r) for r in range(p)}, machine, session)
     x = np.empty(n)
     for r in range(p):
         for i, v in out[r].items():

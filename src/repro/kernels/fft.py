@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.machine.ops import Compute, Recv, Send
 from repro.machine.simulator import Machine
+from repro.session import launch
 from repro.util.errors import ValidationError
 
 FFT_FLOPS_PER_BUTTERFLY = 10
@@ -107,7 +108,7 @@ def fft_node_program(rank: int, p: int, n: int, block: np.ndarray, out: dict):
 
 
 def parallel_fft(
-    x: np.ndarray, p: int, machine: Machine | None = None
+    x: np.ndarray, p: int, machine: Machine | None = None, session=None
 ) -> tuple[np.ndarray, "object"]:
     """Distributed FFT of ``x`` over ``p`` simulated processors.
 
@@ -127,6 +128,6 @@ def parallel_fft(
     def make(rank):
         return fft_node_program(rank, p, n, x[rank * nb : (rank + 1) * nb], out)
 
-    trace = machine.run({r: make(r) for r in range(p)})
+    trace = launch({r: make(r) for r in range(p)}, machine, session)
     X = np.concatenate([out[r] for r in range(p)])
     return X, trace

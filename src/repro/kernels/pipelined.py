@@ -35,6 +35,7 @@ from repro.kernels.substructured import (
 from repro.kernels.thomas import thomas_solve
 from repro.machine.ops import Barrier, Compute, Mark, Recv, Send
 from repro.machine.simulator import Machine
+from repro.session import launch
 from repro.util.errors import ValidationError
 from repro.util.indexing import block_bounds
 
@@ -59,6 +60,7 @@ def sequential_multi_tri_solve(
     p: int,
     machine: Machine | None = None,
     mapping_cls=ShuffleMapping,
+    session=None,
 ):
     """Solve m systems one after another (non-pipelined baseline)."""
     B, A, C, F, m, n = _validate(B, A, C, F, p)
@@ -80,7 +82,7 @@ def sequential_multi_tri_solve(
 
         return prog()
 
-    trace = machine.run({r: make(r) for r in range(p)})
+    trace = launch({r: make(r) for r in range(p)}, machine, session)
     return _assemble(outs, bounds, m, n), trace
 
 
@@ -220,6 +222,7 @@ def pipelined_multi_tri_solve(
     p: int,
     machine: Machine | None = None,
     mapping_cls=ShuffleMapping,
+    session=None,
 ):
     """Solve m systems with the pipelined restructuring of Listing 6."""
     B, A, C, F, m, n = _validate(B, A, C, F, p)
@@ -236,7 +239,7 @@ def pipelined_multi_tri_solve(
         ]
         return pipelined_node_program(rank, p, blocks, mapping, outs)
 
-    trace = machine.run({r: make(r) for r in range(p)})
+    trace = launch({r: make(r) for r in range(p)}, machine, session)
     return _assemble(outs, bounds, m, n), trace
 
 

@@ -34,6 +34,7 @@ import numpy as np
 from repro.kernels.thomas import thomas_solve
 from repro.machine.ops import Compute, Mark, Recv, Send
 from repro.machine.simulator import Machine
+from repro.session import launch
 from repro.util.errors import ValidationError
 from repro.util.indexing import block_bounds
 
@@ -448,6 +449,7 @@ def substructured_tri_solve(
     p: int,
     machine: Machine | None = None,
     mapping_cls=ShuffleMapping,
+    session=None,
 ):
     """Solve a tridiagonal system on ``p`` simulated processors.
 
@@ -472,7 +474,7 @@ def substructured_tri_solve(
         blk = (b[lo:hi], a[lo:hi], c[lo:hi], f[lo:hi])
         return tri_node_program(rank, p, blk, mapping, out)
 
-    trace = machine.run({r: make(r) for r in range(p)})
+    trace = launch({r: make(r) for r in range(p)}, machine, session)
     x = np.empty(n)
     for r in range(p):
         lo, hi = bounds[r]

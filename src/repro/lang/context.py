@@ -1,4 +1,4 @@
-"""SPMD execution context and runner.
+"""SPMD execution context and the legacy launch shim.
 
 A parallel subroutine (the paper's ``parsub``) is a Python generator
 function ``def routine(ctx, ...)`` executed by every rank of a processor
@@ -6,36 +6,61 @@ grid; ``yield from`` composes nested parsubs and compiled doall
 segments.  :class:`KaliCtx` carries the rank plus per-grid tag counters
 so that implicitly generated messages match across ranks, mirroring the
 compiler-assigned channel identities of real KF1.
+
+Every context belongs to a :class:`~repro.session.Session`, which owns
+the caches its collective operations consult (compiled doall plans,
+transfer schedules, run identities).  A context built *without* a
+session -- the legacy hand-wired path, and the deprecated
+:func:`run_spmd` launcher -- falls back to the implicit default Session
+backed by the historical process-global caches, so old code keeps its
+exact behavior while new code gets isolation by construction.
 """
 
 from __future__ import annotations
 
 import itertools
 import operator
+import warnings
 from typing import Any, Callable
 
 from repro.lang.procs import ProcessorGrid
 from repro.machine import collectives
 from repro.machine.simulator import Machine
 from repro.machine.trace import Trace
-from repro.util.errors import ValidationError
+from repro.util.errors import ReproDeprecationWarning, ValidationError
 
-
-#: Per-process launch identities; all ranks of one ``run_spmd`` launch
-#: share one id, which scopes collective cache decisions to that run
-#: (per-grid tag counters restart every run, so tags alone recur).
+#: Per-process launch identities for the *implicit default Session*; all
+#: ranks of one legacy ``run_spmd`` launch share one id, which scopes
+#: collective cache decisions to that run (per-grid tag counters restart
+#: every run, so tags alone recur).  Explicit Sessions own their own
+#: counter.
 _RUN_IDS = itertools.count()
 
 
 class KaliCtx:
-    """Per-rank execution context for SPMD parallel subroutines."""
+    """Per-rank execution context for SPMD parallel subroutines.
 
-    def __init__(self, rank: int, grid: ProcessorGrid, run_id: int | None = None):
+    ``session`` is the :class:`~repro.session.Session` whose caches the
+    context's collective operations (``doall``, ``cached_gather``,
+    ``redistribute``) consult; :meth:`Session.run` wires it
+    automatically.  A session-less context falls back to the
+    process-global default caches (deprecated; kept for the legacy
+    hand-wired path).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        grid: ProcessorGrid,
+        run_id: int | None = None,
+        session=None,
+    ):
         if not grid.contains(rank):
             raise ValidationError(f"rank {rank} not in grid {grid.shape}")
         self.rank = rank
         self.grid = grid
         self.run_id = run_id
+        self.session = session
         self._counters: dict[tuple, int] = {}
 
     # -- tag discipline --------------------------------------------------
@@ -52,6 +77,30 @@ class KaliCtx:
         self._counters[k] = c + 1
         return ("kali", k, c)
 
+    # -- session plumbing --------------------------------------------------
+
+    def _schedule_cache(self, override=None, op: str = "collective"):
+        """Transfer-schedule cache for this context's collectives.
+
+        An explicit ``override`` always wins; a Session-bound context
+        uses its Session's cache.  A session-less context with no
+        override is the deprecated path: it warns and falls back to the
+        process-global default (commsched resolves ``None``), the same
+        shim contract as :meth:`doall`.
+        """
+        if override is not None:
+            return override
+        if self.session is not None:
+            return self.session.cache
+        warnings.warn(
+            f"KaliCtx.{op} without a Session or explicit cache uses the "
+            "deprecated process-global schedule cache; launch via "
+            "repro.Session(...).run(...) or pass cache=",
+            ReproDeprecationWarning,
+            stacklevel=3,
+        )
+        return None  # commsched falls back to the process-global default
+
     # -- compiled loops ---------------------------------------------------
 
     def doall(self, loop, overlap: bool = False):
@@ -63,9 +112,23 @@ class KaliCtx:
         with in-flight communication; the messages themselves are
         byte-identical to the serialized mode.  See
         :func:`repro.compiler.schedule.execute_doall`.
+
+        The loop's compiled plan (and its frozen TransferSchedules)
+        lives in this context's Session plan cache; compile loops ahead
+        of time with :func:`repro.compile` to warm it explicitly.  On a
+        session-less context this is a deprecated shim over the
+        process-global default plan cache.
         """
         from repro.compiler.schedule import execute_doall
 
+        if self.session is None:
+            warnings.warn(
+                "KaliCtx.doall without a Session uses the deprecated "
+                "process-global plan cache; launch via "
+                "repro.Session(...).run(...) or repro.compile(...).run()",
+                ReproDeprecationWarning,
+                stacklevel=2,
+            )
         return execute_doall(self, loop, overlap=overlap)
 
     # -- irregular gathers ------------------------------------------------
@@ -75,13 +138,17 @@ class KaliCtx:
 
         First call with a given index pattern runs the full two-round
         inspection; repeats replay the cached schedule with one round of
-        coalesced value messages.  ``cache`` defaults to the process-wide
-        :data:`repro.compiler.commsched.DEFAULT_CACHE`.  Yields machine
+        coalesced value messages.  ``cache`` defaults to this context's
+        Session cache (for a session-less context, the process-wide
+        :data:`repro.compiler.commsched.DEFAULT_CACHE`).  Yields machine
         ops (use ``yield from``); evaluates to the gathered values.
         """
         from repro.compiler.commsched import cached_inspector_gather
 
-        return cached_inspector_gather(self, grid, array, indices, cache=cache)
+        return cached_inspector_gather(
+            self, grid, array, indices,
+            cache=self._schedule_cache(cache, op="cached_gather"),
+        )
 
     # -- redistribution ----------------------------------------------------
 
@@ -93,19 +160,20 @@ class KaliCtx:
         new owners' blocks -- the full array is never materialized --
         and the repartition schedule is cached (keyed on the layout
         pair, not the comm epoch), so repeated flips between two layouts
-        replay without re-deriving the moves.  ``cache`` defaults to the
-        process-wide :data:`repro.compiler.commsched.DEFAULT_CACHE`.
+        replay without re-deriving the moves.  ``cache`` defaults to
+        this context's Session cache (for a session-less context, the
+        process-wide :data:`repro.compiler.commsched.DEFAULT_CACHE`).
         Yields machine ops (use ``yield from``).
 
         >>> import numpy as np
-        >>> from repro.lang import DistArray, ProcessorGrid, run_spmd
+        >>> from repro import DistArray, ProcessorGrid, Session
         >>> from repro.machine import Machine
         >>> grid = ProcessorGrid((2,))
         >>> A = DistArray((4,), grid, dist=("block",), name="A")
         >>> A.from_global(np.arange(4.0))
         >>> def prog(ctx):
         ...     yield from ctx.redistribute(A, ("cyclic",))
-        >>> trace = run_spmd(Machine(n_procs=2), grid, prog)
+        >>> trace = Session(Machine(n_procs=2), grid).run(prog)
         >>> A.dist.spec_key()
         (('cyclic',),)
         >>> A.to_global()                      # values survive the relayout
@@ -115,7 +183,10 @@ class KaliCtx:
         """
         from repro.compiler.commsched import cached_repartition
 
-        return cached_repartition(self, array, dist, cache=cache)
+        return cached_repartition(
+            self, array, dist,
+            cache=self._schedule_cache(cache, op="redistribute"),
+        )
 
     # -- collectives over grids -------------------------------------------
 
@@ -139,18 +210,25 @@ def run_spmd(
     *args: Any,
     **kwargs: Any,
 ) -> Trace:
-    """Run ``routine(ctx, *args, **kwargs)`` on every rank of ``grid``.
+    """Deprecated launcher: run ``routine`` on every rank of ``grid``.
 
-    This is the launch of the paper's main program: the "real" processor
-    array is ``grid`` and the top-level parsub is ``routine``.
+    This was the launch of the paper's main program before compile and
+    run became first-class: it routes through the implicit default
+    :class:`~repro.session.Session` (whose caches are the historical
+    process-global ones), so its traces are bit-identical to the
+    pre-Session behavior.  New code should hold an explicit Session --
+    ``Session(machine, grid).run(routine, ...)`` -- or compile a Program
+    via :func:`repro.compile`; see ``docs/api.md`` for the migration
+    table.
     """
-    if grid.size > machine.n_procs:
-        raise ValidationError(
-            f"grid of {grid.size} procs exceeds machine size {machine.n_procs}"
-        )
-    run_id = next(_RUN_IDS)
-    programs = {
-        rank: routine(KaliCtx(rank, grid, run_id=run_id), *args, **kwargs)
-        for rank in grid.linear
-    }
-    return machine.run(programs)
+    warnings.warn(
+        "run_spmd is deprecated: use repro.Session(machine, grid).run(...) "
+        "or repro.compile(...).run() (see docs/api.md)",
+        ReproDeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.session import default_session
+
+    # _launch_routine, not run: the legacy signature forwards *all*
+    # kwargs to the routine, including ones named machine or grid.
+    return default_session()._launch_routine(machine, grid, routine, args, kwargs)

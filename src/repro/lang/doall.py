@@ -50,9 +50,12 @@ class Owner(OnClause):
         return Owner(ref.array, ref.idx)
 
     def key(self):
+        # uid, not id(): object addresses recycle after GC, and a plan
+        # keyed on a dead array's id must never hit for a live one.  No
+        # fallback -- a uid-less array must fail loudly, not alias None.
         return (
             "owner",
-            id(self.array),
+            self.array.uid,
             getattr(self.array, "comm_epoch", 0),
             tuple(None if e is None else e.key() for e in self.idx),
         )

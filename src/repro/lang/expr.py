@@ -295,9 +295,13 @@ class Ref(Expr):
     def key(self):
         # The array's comm epoch is part of the identity so that cached
         # loop plans die with the layout they were compiled against.
+        # The process-unique ``uid`` (never ``id()``: CPython reuses
+        # addresses after GC, so a freed array could alias a live one's
+        # cached plans) pins which array this is.  No fallback: an array
+        # without a uid must fail loudly, not share key component None.
         return (
             "ref",
-            id(self.array),
+            self.array.uid,
             getattr(self.array, "comm_epoch", 0),
             tuple(e.key() for e in self.idx),
         )

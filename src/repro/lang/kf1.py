@@ -44,11 +44,28 @@ from repro.util.errors import CompileError
 
 @dataclass
 class KF1Program:
-    """Result of parsing: grid, named arrays, loops in program order."""
+    """Result of parsing: grid, named arrays, loops in program order.
+
+    A parsed listing is directly executable: :meth:`compile` lowers it
+    into a :class:`~repro.session.Program` whose communication
+    schedules are frozen immediately, and whose ``run(**bindings)``
+    loads named arrays from global numpy values and launches the loops
+    in program order -- no hand-wiring of contexts or launchers.
+    """
 
     grid: ProcessorGrid
     arrays: dict[str, DistArray] = field(default_factory=dict)
     loops: list[Doall] = field(default_factory=list)
+
+    def compile(self, session=None, *, machine=None):
+        """Lower this listing into an executable Program.
+
+        Equivalent to ``repro.compile(self, session=session,
+        machine=machine)``; see :func:`repro.session.compile`.
+        """
+        from repro.session import compile as compile_program
+
+        return compile_program(self, session=session, machine=machine)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,630 @@
+"""First-class compile-and-run API: :class:`Session` and :class:`Program`.
+
+The paper's whole pitch is that communication is *compiled once* from
+the distribution clauses and then replayed.  This module makes that
+lifecycle explicit:
+
+* a :class:`Session` owns everything that used to be process-global
+  mutable state -- the transfer-:class:`~repro.compiler.commsched.ScheduleCache`,
+  the compiled-plan :class:`~repro.compiler.schedule.PlanCache`, the
+  run-id counter, and the trace history.  Two Sessions never share
+  schedules, so concurrent workloads (or test cases) are isolated by
+  construction;
+* :func:`compile` lowers a program -- a :class:`~repro.lang.doall.Doall`
+  (or list of them), KF1 source text, a parsed
+  :class:`~repro.lang.kf1.KF1Program`, or a parsub generator function --
+  into a :class:`Program` whose communication schedules are frozen at
+  compile time;
+* ``Program.run(**bindings)`` launches the program on the simulated
+  machine, replaying the cached schedules on every run;
+  ``Program.estimate`` predicts its critical path without executing,
+  ``Program.schedules``/``Program.stats`` expose the frozen transfer
+  schedules and per-direction reuse rates, and ``Program.explain``
+  renders the message pattern the compiler derived.
+
+The deprecated shims (:func:`repro.lang.context.run_spmd`, session-less
+``KaliCtx``) route through the *implicit default Session* returned by
+:func:`default_session`, which wraps the historical process-global
+caches -- so legacy code behaves bit-identically while migrated code
+gets owned state.
+
+>>> import numpy as np
+>>> from repro import Machine, ProcessorGrid, Session
+>>> import repro
+>>> src = '''
+... processors procs(2)
+... real x(0:7) dist (block)
+... real y(0:7) dist (block)
+... doall (i) = [1, 6] on owner(y(i))
+...   y(i) = x(i-1) + x(i+1)
+... end doall
+... '''
+>>> sess = Session(Machine(n_procs=2))
+>>> prog = repro.compile(src, session=sess)   # schedules frozen here
+>>> t1 = prog.run(x=np.arange(8.0))           # bindings load the arrays
+>>> prog.arrays["y"].to_global()[1:7]
+array([ 2.,  4.,  6.,  8., 10., 12.])
+>>> t2 = prog.run()                           # replays the frozen schedules
+>>> t2.schedule_hit_rate("gather") == 1.0
+True
+>>> sorted(prog.stats()["plans"])             # the session saw the compiles
+['doall']
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.compiler.commsched import ScheduleCache
+from repro.compiler.estimate import LoopEstimate, estimate_doall
+from repro.compiler.schedule import PlanCache
+from repro.lang.context import _RUN_IDS, KaliCtx
+from repro.lang.doall import Doall
+from repro.lang.kf1 import KF1Program, parse_program
+from repro.lang.procs import ProcessorGrid
+from repro.machine.costmodel import CostModel
+from repro.machine.simulator import Machine
+from repro.machine.trace import Trace
+from repro.util.errors import ValidationError
+
+
+class Session:
+    """Owns one workload's compile-and-run state.
+
+    Parameters
+    ----------
+    machine:
+        Default simulated machine for :meth:`run`/:meth:`launch` (each
+        call may override it).
+    grid:
+        Default processor grid for :meth:`run`.
+    cost:
+        Cost model used by ``Program.estimate`` when none is passed;
+        defaults to the machine's.
+
+    A Session owns its :class:`~repro.compiler.commsched.ScheduleCache`
+    (wire transfer schedules: gathers, repartitions), its
+    :class:`~repro.compiler.schedule.PlanCache` (compiled doall analyses
+    with their frozen gather/scatter schedules, ADI line plans), a
+    run-id counter, and ``history`` -- the traces of every launch.  No
+    state leaks between Sessions: caches warmed in one are invisible to
+    another.
+
+    >>> s = Session()
+    >>> s.stats()["schedules"]["hits"], s.stats()["runs"]
+    (0, 0)
+    """
+
+    def __init__(
+        self,
+        machine: Machine | None = None,
+        grid: ProcessorGrid | None = None,
+        cost: CostModel | None = None,
+        *,
+        max_schedule_entries: int = 256,
+        max_plan_entries: int = 4096,
+        max_history: int = 256,
+    ):
+        if max_history <= 0:
+            raise ValidationError("Session needs max_history >= 1")
+        self.machine = machine
+        self.grid = grid
+        self.cost = cost if cost is not None else getattr(machine, "cost", None)
+        #: transfer-schedule cache (gather/scatter/repartition wire schedules)
+        self.cache = ScheduleCache(max_entries=max_schedule_entries)
+        #: compiled-plan cache (doall analyses, line-solver plans, ...)
+        self.plans = PlanCache(max_entries=max_plan_entries)
+        #: traces of recent launches, oldest first; bounded at
+        #: ``max_history`` (traces hold full per-message event lists, so
+        #: an unbounded log would leak across long sweeps).  ``runs``
+        #: counts every launch ever, trimmed or not.
+        self.history: list[Trace] = []
+        self.max_history = max_history
+        self.runs = 0
+
+    # -- launching ---------------------------------------------------------
+
+    def _resolve(self, machine: Machine | None, grid: ProcessorGrid | None):
+        machine = machine if machine is not None else self.machine
+        grid = grid if grid is not None else self.grid
+        if machine is None:
+            raise ValidationError(
+                "no machine: pass one to the Session or to this call"
+            )
+        if grid is None:
+            raise ValidationError("no grid: pass one to the Session or to this call")
+        if grid.size > machine.n_procs:
+            raise ValidationError(
+                f"grid of {grid.size} procs exceeds machine size {machine.n_procs}"
+            )
+        return machine, grid
+
+    def run(
+        self,
+        routine: Callable,
+        *args: Any,
+        machine: Machine | None = None,
+        grid: ProcessorGrid | None = None,
+        **kwargs: Any,
+    ) -> Trace:
+        """Run ``routine(ctx, *args, **kwargs)`` on every rank of the grid.
+
+        The launch of the paper's main program: the "real" processor
+        array is ``grid`` and the top-level parsub is ``routine``.  Each
+        rank's :class:`~repro.lang.context.KaliCtx` is bound to this
+        Session, so every collective inside consults this Session's
+        caches.  The trace is appended to :attr:`history` and returned.
+        ``machine``/``grid`` override the Session defaults; a routine
+        parameter with either name must be bound via ``functools.partial``
+        (or the :func:`run_spmd` shim, which forwards kwargs verbatim).
+        """
+        return self._launch_routine(machine, grid, routine, args, kwargs)
+
+    def _launch_routine(self, machine, grid, routine, args, kwargs) -> Trace:
+        """Launch core with no keyword capture: ``kwargs`` go to the
+        routine untouched (the run_spmd shim relies on this to keep the
+        legacy signature, where ``machine``/``grid`` were positional)."""
+        machine, grid = self._resolve(machine, grid)
+        # Launch identities are process-unique (not per-session): a run
+        # id scopes cache decisions and staging tokens, and two Sessions
+        # sharing one explicit ScheduleCache must never reuse an id --
+        # per-session counters restarting at 0 would collide.  Ids never
+        # enter traces, so this does not affect determinism.
+        run_id = next(_RUN_IDS)
+        programs = {
+            rank: routine(
+                KaliCtx(rank, grid, run_id=run_id, session=self), *args, **kwargs
+            )
+            for rank in grid.linear
+        }
+        return self._record(machine.run(programs))
+
+    def launch(self, programs: dict, machine: Machine | None = None) -> Trace:
+        """Run pre-built per-rank node programs (no contexts involved).
+
+        The hand-message-passing escape hatch used by the 1-D kernel
+        drivers and baselines: ``programs`` maps rank to a generator of
+        machine ops.  The trace still lands in :attr:`history`, so a
+        Session sees every launch of its workload, not just doalls.
+        """
+        machine = machine if machine is not None else self.machine
+        if machine is None:
+            raise ValidationError(
+                "no machine: pass one to the Session or to this call"
+            )
+        return self._record(machine.run(programs))
+
+    def _record(self, trace: Trace) -> Trace:
+        self.runs += 1
+        self.history.append(trace)
+        if len(self.history) > self.max_history:
+            del self.history[: -self.max_history]
+        return trace
+
+    # -- compilation -------------------------------------------------------
+
+    def compile(self, obj, *, grid: ProcessorGrid | None = None) -> "Program":
+        """Compile ``obj`` into a :class:`Program` bound to this Session.
+
+        See the module-level :func:`compile` for the accepted forms.
+        """
+        return compile(obj, session=self, grid=grid)
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Aggregate cache accounting: schedule and plan hit/miss counts,
+        per-direction and per-kind breakdowns, and the launch count."""
+        return {
+            "runs": self.runs,
+            "schedules": self.cache.stats(),
+            "directions": self.cache.direction_stats(),
+            "plans": self.plans.kind_stats(),
+        }
+
+    def hit_rates(self) -> dict[str, float]:
+        """Replay rates per schedule direction *and* plan kind.
+
+        Merges the wire-schedule directions (``gather``/``scatter``/
+        ``repartition`` from ``ctx.cached_gather``/``ctx.redistribute``)
+        with the compiled-plan kinds (``doall``, ``adi-line``), so a
+        pure-doall program still reports its compile-once/replay-forever
+        ratio here, e.g. ``{"doall": 0.99}``.  The direction and kind
+        namespaces are disjoint.
+        """
+        out: dict[str, float] = {}
+        for source in (self.cache.by_direction, self.plans.by_kind):
+            for name, v in source.items():
+                total = v["hits"] + v["misses"]
+                out[name] = v["hits"] / total if total else 0.0
+        return out
+
+    def clear(self) -> None:
+        """Drop every cached schedule and plan (the traces stay)."""
+        self.cache.clear()
+        self.plans.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Session(machine={self.machine!r}, grid="
+            f"{None if self.grid is None else self.grid.shape}, "
+            f"runs={self.runs}, plans={len(self.plans)}, "
+            f"schedules={len(self.cache)})"
+        )
+
+
+class Program:
+    """A compiled program: loops with frozen communication schedules,
+    bound to the :class:`Session` that compiled them.
+
+    Build one with :func:`repro.compile` / :meth:`Session.compile`; the
+    doall analyses (and their gather/scatter
+    :class:`~repro.compiler.commsched.TransferSchedule` objects) are
+    derived eagerly at compile time, so every :meth:`run` -- including
+    the first -- replays them.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        *,
+        loops: Sequence[Doall] = (),
+        arrays: dict[str, Any] | None = None,
+        routine: Callable | None = None,
+        grid: ProcessorGrid | None = None,
+    ):
+        self.session = session
+        self.loops = list(loops)
+        #: name -> DistArray for binding inputs / reading results
+        self.arrays = dict(arrays or {})
+        #: names shared by several distinct arrays: unbindable by name
+        self.ambiguous_names: set[str] = set()
+        self.routine = routine
+        self.grid = grid
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        *args: Any,
+        iters: int = 1,
+        overlap: bool = False,
+        machine: Machine | None = None,
+        bindings: dict[str, np.ndarray] | None = None,
+        **kwargs: Any,
+    ) -> Trace:
+        """Execute the program; returns the :class:`~repro.machine.trace.Trace`.
+
+        For loop programs, keyword arguments (or the explicit
+        ``bindings`` dict) name arrays to load from global numpy values
+        before running, ``iters`` repeats the whole loop sequence, and
+        ``overlap=True`` runs the overlap-aware executor.  For parsub
+        programs, ``*args``/``**kwargs`` are forwarded to the routine.
+        Each run replays the schedules frozen at compile time --
+        re-running never re-derives communication.
+        """
+        if iters < 1:
+            raise ValidationError(f"iters must be >= 1, got {iters}")
+        if self.routine is not None:
+            if bindings is not None:
+                raise ValidationError("bindings apply to loop programs only")
+            if overlap:
+                raise ValidationError(
+                    "overlap applies to loop programs only; a parsub "
+                    "routine chooses per call via ctx.doall(loop, "
+                    "overlap=True)"
+                )
+            routine, niters = self.routine, iters
+
+            def _program(ctx):
+                for _ in range(niters):
+                    yield from routine(ctx, *args, **kwargs)
+
+            return self.session.run(_program, machine=machine, grid=self.grid)
+
+        if args:
+            raise ValidationError(
+                "positional arguments apply to parsub programs only; "
+                "pass loop-program inputs as name=array bindings"
+            )
+        merged = dict(bindings or {})
+        merged.update(kwargs)
+        for name, value in merged.items():
+            if name in self.ambiguous_names:
+                raise ValidationError(
+                    f"binding {name!r} is ambiguous: several distinct "
+                    "arrays share that name; give them unique names"
+                )
+            if name not in self.arrays:
+                raise ValidationError(
+                    f"unknown binding {name!r}: this program's arrays are "
+                    f"{sorted(self.arrays)}"
+                )
+            self.arrays[name].from_global(np.asarray(value))
+        loops, niters = self.loops, iters
+
+        def _program(ctx):
+            for _ in range(niters):
+                for loop in loops:
+                    yield from ctx.doall(loop, overlap=overlap)
+
+        return self.session.run(_program, machine=machine, grid=self.grid)
+
+    # -- static analysis ---------------------------------------------------
+
+    def _require_loops(self, what: str) -> None:
+        if not self.loops:
+            raise ValidationError(
+                f"{what} needs compiled loops; this Program wraps an opaque "
+                "parsub routine"
+            )
+
+    def loop_estimates(self) -> list[LoopEstimate]:
+        """One :class:`~repro.compiler.estimate.LoopEstimate` per loop."""
+        self._require_loops("loop_estimates()")
+        # count=False: static lookups must not inflate the replay stats
+        return [
+            estimate_doall(loop, plans=self.session.plans, count=False)
+            for loop in self.loops
+        ]
+
+    def estimate(self, cost: CostModel | None = None, overlap: bool = False) -> float:
+        """Predicted critical-path time of one sweep (all loops, in order).
+
+        Wraps :meth:`LoopEstimate.predicted_time` per loop and sums --
+        loops execute back to back.  ``cost`` defaults to the Session's.
+        """
+        cost = cost if cost is not None else self.session.cost
+        if cost is None:
+            raise ValidationError(
+                "no cost model: pass one or give the Session a machine/cost"
+            )
+        return sum(
+            est.predicted_time(cost, overlap=overlap)
+            for est in self.loop_estimates()
+        )
+
+    def schedules(self) -> dict[str, list]:
+        """The frozen per-rank TransferSchedules, by direction.
+
+        ``{"gather": [...], "scatter": [...]}`` -- exactly the schedules
+        every :meth:`run` replays; derived at compile time from the
+        distribution clauses alone.
+        """
+        self._require_loops("schedules()")
+        out: dict[str, list] = {"gather": [], "scatter": []}
+        for analysis in self._analyses():
+            for plans in analysis.read_plans:
+                for rank in analysis.ranks:
+                    ts = plans[rank].transfer
+                    if ts is not None:
+                        out["gather"].append(ts)
+            for stmt_idx in range(len(analysis.stmts)):
+                for rank in analysis.ranks:
+                    ts = analysis.write_plans[stmt_idx][rank].transfer
+                    if ts is not None:
+                        out["scatter"].append(ts)
+        return out
+
+    def _analyses(self):
+        # count=False: static lookups must not inflate the replay stats
+        return [
+            self.session.plans.analysis(loop, count=False)[0]
+            for loop in self.loops
+        ]
+
+    def stats(self) -> dict:
+        """Session-level reuse accounting: per-direction schedule hit
+        rates, per-kind plan hit/miss counts, and the launch count."""
+        s = self.session.stats()
+        return {
+            "runs": s["runs"],
+            "directions": s["directions"],
+            "hit_rates": self.session.hit_rates(),
+            "plans": s["plans"],
+        }
+
+    def explain(self) -> str:
+        """The message pattern derived at compile time, human-readable.
+
+        One block per loop: per-rank iteration counts, flops, and the
+        exact messages/bytes each rank sends and receives every sweep --
+        read off the frozen schedules, so what it says is what replays.
+        """
+        self._require_loops("explain()")
+        lines: list[str] = []
+        for n, (loop, est) in enumerate(zip(self.loops, self.loop_estimates())):
+            head = ",".join(v.name for v in loop.vars)
+            total_msgs = sum(r.msgs_out for r in est.per_rank)
+            total_bytes = sum(r.bytes_out for r in est.per_rank)
+            lines.append(
+                f"loop {n}: doall[{head}] over grid {loop.grid.shape} -- "
+                f"{total_msgs} msgs / {total_bytes} bytes per sweep"
+            )
+            for r in est.per_rank:
+                lines.append(
+                    f"  rank {r.rank}: {r.iterations} points, "
+                    f"{r.flops:.0f} flops, out {r.msgs_out} msgs/"
+                    f"{r.bytes_out}B, in {r.msgs_in} msgs/{r.bytes_in}B"
+                )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.routine is not None:
+            return f"Program(parsub {getattr(self.routine, '__name__', '?')})"
+        return (
+            f"Program({len(self.loops)} loop(s), arrays="
+            f"{sorted(self.arrays)}, grid="
+            f"{None if self.grid is None else self.grid.shape})"
+        )
+
+
+def compile(
+    obj,
+    session: Session | None = None,
+    *,
+    machine: Machine | None = None,
+    grid: ProcessorGrid | None = None,
+) -> Program:
+    """Compile a program into a :class:`Program` artifact.
+
+    ``obj`` may be:
+
+    * a :class:`~repro.lang.doall.Doall` loop, or a sequence of them
+      (executed in order per sweep);
+    * KF1 source text, or a parsed :class:`~repro.lang.kf1.KF1Program`
+      -- this is what makes KF1 listings executable without hand-wiring:
+      the parsed arrays are exposed on ``Program.arrays`` for bindings
+      and results;
+    * a parsub generator function ``def routine(ctx, ...)`` (opaque: it
+      runs under the Session but has no static loop analyses).
+
+    Communication analysis runs *now*: each loop's plan -- including the
+    frozen gather/scatter TransferSchedules -- is derived into the
+    Session's plan cache, so every subsequent ``Program.run`` replays
+    it.  With no ``session``, a fresh one is created around ``machine``
+    (isolation by default); pass an explicit Session to share warmed
+    schedules between programs.
+    """
+    if session is None:
+        session = Session(machine=machine, grid=grid)
+    elif machine is not None:
+        # never mutate or second-guess a caller's Session: the machine
+        # belongs to the Session (or to run()), not to compilation
+        raise ValidationError(
+            "pass machine to the Session or to run(), not to "
+            "compile(session=...)"
+        )
+
+    if isinstance(obj, str):
+        obj = parse_program(obj)
+    if isinstance(obj, KF1Program):
+        program = Program(
+            session,
+            loops=obj.loops,
+            arrays=dict(obj.arrays),
+            grid=obj.grid,
+        )
+    elif isinstance(obj, Doall):
+        arrays, ambiguous = _loop_arrays([obj])
+        program = Program(session, loops=[obj], arrays=arrays, grid=obj.grid)
+        program.ambiguous_names = ambiguous
+    elif isinstance(obj, Iterable) and not callable(obj):
+        loops = list(obj)
+        if not loops or not all(isinstance(lp, Doall) for lp in loops):
+            raise ValidationError(
+                "compile() of a sequence needs one or more Doall loops"
+            )
+        gkeys = {lp.grid.key() for lp in loops}
+        if len(gkeys) != 1:
+            raise ValidationError(
+                "compile() loops must share one processor grid; wrap "
+                "multi-grid programs in a parsub routine instead"
+            )
+        arrays, ambiguous = _loop_arrays(loops)
+        program = Program(
+            session, loops=loops, arrays=arrays, grid=loops[0].grid
+        )
+        program.ambiguous_names = ambiguous
+    elif callable(obj):
+        program = Program(
+            session,
+            routine=obj,
+            grid=grid if grid is not None else session.grid,
+        )
+    else:
+        raise ValidationError(
+            f"cannot compile {type(obj).__name__}: expected a Doall, a "
+            "sequence of Doalls, KF1 source, a KF1Program, or a parsub "
+            "routine"
+        )
+
+    if grid is not None and program.loops and grid.key() != program.grid.key():
+        raise ValidationError(
+            "grid mismatch: loop/KF1 programs carry their own grid "
+            f"{program.grid.shape}; omit grid= or pass a matching one"
+        )
+    for loop in program.loops:
+        session.plans.analysis(loop)  # freeze schedules at compile time
+    return program
+
+
+def run_in(
+    routine: Callable,
+    machine: Machine,
+    grid: ProcessorGrid,
+    session: Session | None = None,
+) -> Trace:
+    """Run a parsub in ``session``, or in a fresh one when none is given.
+
+    The launch path shared by the tensor solvers: an explicit Session
+    observes (and reuses) the solver's caches across calls; omitting it
+    gives each call its own Session, so repeated solves never alias each
+    other's schedules.
+    """
+    if session is None:
+        session = Session(machine, grid)
+    return session.run(routine, machine=machine, grid=grid)
+
+
+def launch(programs: dict, machine: Machine, session: Session | None = None) -> Trace:
+    """Run pre-built per-rank node programs, in a Session if given.
+
+    The one launch path for drivers that build node programs by hand
+    (the 1-D kernels, the message-passing baselines): with a ``session``
+    the trace is recorded in its history, without one this is plain
+    ``machine.run``.
+    """
+    if session is not None:
+        return session.launch(programs, machine=machine)
+    return machine.run(programs)
+
+
+def _loop_arrays(loops: Sequence[Doall]) -> tuple[dict[str, Any], set[str]]:
+    """Name -> array map plus the set of ambiguous names.
+
+    Two *distinct* arrays under one name (DistArray's default name is
+    ``"A"``, so this is easy to do accidentally) cannot be bound or read
+    by name; such programs still compile and run — only the name-based
+    slots are withheld, and ``Program.run`` rejects bindings to them.
+    """
+    out: dict[str, Any] = {}
+    ambiguous: set[str] = set()
+    for loop in loops:
+        for arr in loop.arrays():
+            other = out.setdefault(arr.name, arr)
+            if other is not arr:
+                ambiguous.add(arr.name)
+    for name in ambiguous:
+        del out[name]
+    return out, ambiguous
+
+
+# ----------------------------------------------------------------------
+# The implicit default Session behind the deprecated shims
+# ----------------------------------------------------------------------
+
+_DEFAULT_SESSION: Session | None = None
+
+
+def default_session() -> Session:
+    """The implicit Session the deprecated shims route through.
+
+    Wraps the historical process-global caches
+    (:data:`repro.compiler.commsched.DEFAULT_CACHE`, the default plan
+    cache, the process-wide run-id counter), so legacy ``run_spmd``
+    code produces bit-identical traces to the pre-Session library.
+    Everything except those shims should hold an explicit Session.
+    """
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        from repro.compiler import commsched
+        from repro.compiler import schedule as _schedule
+
+        s = Session()
+        s.cache = commsched.DEFAULT_CACHE
+        s.plans = _schedule.DEFAULT_PLANS
+        _DEFAULT_SESSION = s
+    return _DEFAULT_SESSION

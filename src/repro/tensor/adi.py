@@ -30,14 +30,14 @@ Two variants, as in the paper:
 
 from __future__ import annotations
 
-from collections import OrderedDict
-
 import numpy as np
 
+from repro.compiler.commsched import uid_chain
+from repro.compiler.schedule import DEFAULT_PLANS, plans_of
 from repro.kernels.pipelined import pipelined_node_program
 from repro.kernels.substructured import ContiguousMapping, ShuffleMapping, tri_node_program
 from repro.kernels.thomas import thomas_solve_many
-from repro.lang import Assign, DistArray, Doall, Owner, ProcessorGrid, loopvars, run_spmd
+from repro.lang import Assign, DistArray, Doall, Owner, ProcessorGrid, loopvars
 from repro.machine.ops import Mark
 from repro.machine.simulator import Machine
 from repro.machine.translate import translate_ranks
@@ -158,30 +158,34 @@ class _LinePlan:
         self.my_lines = sys_bd.owned_indices(sys_coord)
 
 
-# Bounded FIFO: keys embed per-instance array uids, so long parameter
-# sweeps would otherwise accumulate dead entries forever.  Partial
-# eviction is harmless here (a plan rebuild is purely local and
-# deterministic -- no protocol divergence), so a plain cap suffices.
-_LINE_PLAN_CACHE: OrderedDict[tuple, _LinePlan] = OrderedDict()
-_LINE_PLAN_CACHE_MAX = 1024
+def _line_plan(ctx, grid, rhs_arr, axis, me) -> tuple[_LinePlan, bool]:
+    """Cached :class:`_LinePlan` under the ``"adi-line"`` plan kind.
 
-
-def _line_plan(grid, rhs_arr, axis, me) -> tuple[_LinePlan, bool]:
-    """Cached :class:`_LinePlan`; returns (plan, was_cached)."""
+    Line plans ride in the Session-owned
+    :class:`~repro.compiler.schedule.PlanCache` (the default plan cache
+    on the legacy session-less path), so ``Session.stats()`` sees
+    line-solver reuse next to doall plans and ``clear_plan_cache()`` /
+    redistribution purges cover them in one story.  Partial eviction is
+    harmless here (a plan rebuild is purely local and deterministic --
+    no protocol divergence), so the cache's plain LRU cap suffices.
+    """
     key = (grid.key(), rhs_arr.uid, rhs_arr.comm_epoch, axis, me)
-    plan = _LINE_PLAN_CACHE.get(key)
-    if plan is not None:
-        return plan, True
-    plan = _LinePlan(grid, rhs_arr, axis, me)
-    _LINE_PLAN_CACHE[key] = plan
-    while len(_LINE_PLAN_CACHE) > _LINE_PLAN_CACHE_MAX:
-        _LINE_PLAN_CACHE.popitem(last=False)
-    return plan, False
+    return plans_of(ctx).get(
+        "adi-line",
+        key,
+        lambda: _LinePlan(grid, rhs_arr, axis, me),
+        uids=uid_chain(rhs_arr),
+    )
 
 
 def clear_line_plan_cache() -> None:
-    """Drop all cached ADI line plans (mostly for tests)."""
-    _LINE_PLAN_CACHE.clear()
+    """Drop the ADI line plans from the *default* plan cache.
+
+    Line plans live in the Session-owned plan cache now (pass
+    ``session=`` to ``adi_solve`` and clear/drop that Session instead);
+    this reaches only plans compiled on the legacy session-less path.
+    """
+    DEFAULT_PLANS.clear_kind("adi-line")
 
 
 def _solve_lines(ctx, grid, rhs_arr, out_arr, diags, axis, pipelined, phase):
@@ -193,7 +197,7 @@ def _solve_lines(ctx, grid, rhs_arr, out_arr, diags, axis, pipelined, phase):
     """
     b, a, c = diags
     me = ctx.rank
-    plan, was_cached = _line_plan(grid, rhs_arr, axis, me)
+    plan, was_cached = _line_plan(ctx, grid, rhs_arr, axis, me)
     yield Mark(
         "commsched/hit" if was_cached else "commsched/build",
         payload=("adi-lines", axis),
@@ -250,11 +254,13 @@ def adi_solve(
     coeffs: Coeffs2D = Coeffs2D(),
     tau: float | None = None,
     pipelined: bool = False,
+    session=None,
 ):
     """Distributed ADI (Listing 7, or Listing 8 when ``pipelined``).
 
-    Requires a 2-D processor grid with power-of-two extents.  Returns
-    (u_global, trace).
+    Requires a 2-D processor grid with power-of-two extents.  Runs in
+    ``session`` (a fresh one per call when omitted, so repeated solves
+    never alias each other's schedules).  Returns (u_global, trace).
     """
     n = f.shape[0] - 1
     if f.shape[0] != f.shape[1]:
@@ -295,5 +301,7 @@ def adi_solve(
             )
             yield from ctx.doall(update_loop)
 
-    trace = run_spmd(machine, grid, program)
+    from repro.session import run_in
+
+    trace = run_in(program, machine, grid, session)
     return u.to_global(), trace

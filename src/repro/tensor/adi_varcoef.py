@@ -28,7 +28,7 @@ import numpy as np
 from repro.kernels.pipelined import pipelined_node_program
 from repro.kernels.substructured import ContiguousMapping, ShuffleMapping, tri_node_program
 from repro.kernels.thomas import thomas_solve
-from repro.lang import Assign, DistArray, Doall, Owner, ProcessorGrid, loopvars, run_spmd
+from repro.lang import Assign, DistArray, Doall, Owner, ProcessorGrid, loopvars
 from repro.machine.simulator import Machine
 from repro.machine.translate import translate_ranks
 from repro.util.errors import ValidationError
@@ -207,8 +207,12 @@ def adi_varcoef_solve(
     iters: int,
     tau: float | None = None,
     pipelined: bool = True,
+    session=None,
 ):
-    """Distributed variable-coefficient ADI; returns (u_global, trace)."""
+    """Distributed variable-coefficient ADI; returns (u_global, trace).
+
+    Runs in ``session`` (a fresh one per call when omitted).
+    """
     n = f.shape[0] - 1
     if not (f.shape == a.shape == b.shape == c.shape):
         raise ValidationError("f, a, b, c must share a shape")
@@ -253,5 +257,7 @@ def adi_varcoef_solve(
             )
             yield from ctx.doall(update_loop)
 
-    trace = run_spmd(machine, grid, program)
+    from repro.session import run_in
+
+    trace = run_in(program, machine, grid, session)
     return u.to_global(), trace

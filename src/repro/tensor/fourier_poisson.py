@@ -29,6 +29,7 @@ from repro.kernels.fft import fft_node_program
 from repro.kernels.thomas import thomas_solve
 from repro.machine.ops import Compute, Recv, Send
 from repro.machine.simulator import Machine
+from repro.session import launch
 from repro.util.errors import ValidationError
 
 
@@ -84,7 +85,7 @@ def apply_operator(u: np.ndarray) -> np.ndarray:
 
 
 def fourier_poisson_solve(
-    machine: Machine, f: np.ndarray, p: int
+    machine: Machine, f: np.ndarray, p: int, session=None
 ) -> tuple[np.ndarray, object]:
     """Distributed Fourier-tridiagonal solve on ``p`` simulated processors.
 
@@ -145,7 +146,7 @@ def fourier_poisson_solve(
                 op = Recv(src=op.src, tag=(ns, op.tag))
             send_value = yield op
 
-    trace = machine.run({r: node(r) for r in range(p)})
+    trace = launch({r: node(r) for r in range(p)}, machine, session)
     u = np.empty((nx, ny + 1))
     for rank in range(p):
         lo, hi = rank * nb, (rank + 1) * nb

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.lang import Assign, DistArray, Doall, Owner, ProcessorGrid, Ref, loopvars, run_spmd
+from repro.lang import Assign, DistArray, Doall, Owner, ProcessorGrid, Ref, loopvars
 from repro.machine.simulator import Machine
 from repro.util.errors import ValidationError
 
@@ -56,6 +56,7 @@ def lu_distributed(
     grid: ProcessorGrid,
     A0: np.ndarray,
     dist: str = "cyclic",
+    session=None,
 ):
     """Row-distributed LU on the simulated machine; returns (LU, trace).
 
@@ -100,5 +101,7 @@ def lu_distributed(
             yield from ctx.doall(mult_loops[k])
             yield from ctx.doall(elim_loops[k])
 
-    trace = run_spmd(machine, grid, program)
+    from repro.session import run_in
+
+    trace = run_in(program, machine, grid, session)
     return A.to_global(), trace

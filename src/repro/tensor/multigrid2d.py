@@ -30,7 +30,7 @@ import numpy as np
 from repro.kernels.pipelined import pipelined_node_program
 from repro.kernels.substructured import ShuffleMapping
 from repro.kernels.thomas import thomas_solve_many
-from repro.lang import Assign, DistArray, Doall, Owner, ProcessorGrid, loopvars, run_spmd
+from repro.lang import Assign, DistArray, Doall, Owner, ProcessorGrid, loopvars
 from repro.lang.array import BaseDistArray
 from repro.machine.ops import Compute, Mark
 from repro.machine.simulator import Machine
@@ -380,6 +380,7 @@ def mg2_solve(
     f: np.ndarray,
     cycles: int,
     coeffs: Coeffs2D = Coeffs2D(),
+    session=None,
 ):
     """Distributed mg2 on a 1-D processor grid; returns (u, trace)."""
     if grid.ndim != 1:
@@ -392,5 +393,7 @@ def mg2_solve(
     def program(ctx):
         yield from mg.solve(ctx, cycles)
 
-    trace = run_spmd(machine, grid, program)
+    from repro.session import run_in
+
+    trace = run_in(program, machine, grid, session)
     return u.to_global(), trace

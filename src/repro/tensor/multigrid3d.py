@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.lang import Assign, DistArray, Doall, Owner, ProcessorGrid, loopvars, run_spmd
+from repro.lang import Assign, DistArray, Doall, Owner, ProcessorGrid, loopvars
 from repro.machine.ops import Compute, Mark
 from repro.machine.simulator import Machine
 from repro.tensor.multigrid2d import MG2, mg2_vcycle_ref
@@ -303,6 +303,7 @@ def mg3_solve(
     coeffs: Coeffs3D = Coeffs3D(),
     plane_cycles: int = 2,
     dist=("*", "block", "block"),
+    session=None,
 ):
     """Distributed mg3; returns (u_global, trace).
 
@@ -321,5 +322,7 @@ def mg3_solve(
     def program(ctx):
         yield from mg.solve(ctx, cycles)
 
-    trace = run_spmd(machine, grid, program)
+    from repro.session import run_in
+
+    trace = run_in(program, machine, grid, session)
     return u.to_global(), trace

@@ -37,3 +37,15 @@ class CompileError(ReproError):
 
 class ValidationError(ReproError):
     """Invalid argument to a public API function."""
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """A deprecated repro entry point was used.
+
+    Raised-as-warning by the legacy shims (``run_spmd``, session-less
+    ``KaliCtx.doall``) that route through the implicit default
+    :class:`~repro.session.Session`.  The tier-1 test configuration
+    turns this warning into an error inside ``tests/`` so migrated code
+    cannot silently regress onto the process-global path; user code
+    merely sees a ``DeprecationWarning``.
+    """

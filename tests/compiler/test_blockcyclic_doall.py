@@ -14,9 +14,9 @@ from repro.lang import (
     Owner,
     ProcessorGrid,
     loopvars,
-    run_spmd,
 )
 from repro.machine import Machine
+from repro.session import Session
 
 
 @pytest.fixture(autouse=True)
@@ -30,7 +30,7 @@ def run_loop(m, grid, loop):
     def prog(ctx):
         yield from ctx.doall(loop)
 
-    return run_spmd(m, grid, prog)
+    return Session(m, grid).run(prog)
 
 
 @pytest.mark.parametrize("block", [1, 2, 3])

@@ -16,8 +16,9 @@ from repro.compiler import (
     schedule_key,
 )
 from repro.compiler.commsched import DEFAULT_CACHE, clear_schedule_cache
-from repro.lang import BlockCyclic, DistArray, ProcessorGrid, run_spmd
+from repro.lang import BlockCyclic, DistArray, ProcessorGrid
 from repro.machine import Machine
+from repro.session import Session
 from repro.util.errors import ValidationError
 
 
@@ -34,7 +35,7 @@ def _run_uncached(p, array_factory, index_of):
     def prog(ctx):
         results[ctx.rank] = yield from inspector_gather(ctx, g, A, index_of(ctx.rank))
 
-    trace = run_spmd(m, g, prog)
+    trace = Session(m, g).run(prog)
     return results, trace
 
 
@@ -50,7 +51,7 @@ def _run_cached(p, array_factory, index_of, sweeps=3, cache=None):
             vals = yield from ctx.cached_gather(g, A, index_of(ctx.rank), cache=cache)
             results[ctx.rank].append(vals)
 
-    trace = run_spmd(m, g, prog)
+    trace = Session(m, g).run(prog)
     return results, trace, cache
 
 
@@ -103,7 +104,7 @@ def test_replay_observes_current_values():
             A.local(ctx.rank)[...] += 100.0
             yield Barrier(group=group, tag=("mutated", sweep))
 
-    run_spmd(m, g, prog)
+    Session(m, g).run(prog)
     assert got[0] == [15.0, 115.0]
     assert got[1] == [0.0, 100.0]
 
@@ -142,7 +143,7 @@ def test_changed_pattern_misses():
         yield from ctx.cached_gather(g, A, np.array([[3], [4]]), cache=cache)
         yield from ctx.cached_gather(g, A, np.array([[1], [2]]), cache=cache)
 
-    run_spmd(m, g, prog)
+    Session(m, g).run(prog)
     assert cache.misses == 2 * p  # two distinct patterns
     assert cache.hits == p  # third call replays the first pattern
 
@@ -162,7 +163,7 @@ def test_invalidation_after_redistribution():
         vals = yield from ctx.cached_gather(g, A, idx[ctx.rank], cache=cache)
         collected.append((ctx.rank, "pre", vals.copy()))
 
-    run_spmd(m, g, prog)
+    Session(m, g).run(prog)
     assert cache.misses == p and cache.hits == 0
 
     # redistribute: same values, new layout -> old schedules must not hit
@@ -177,7 +178,7 @@ def test_invalidation_after_redistribution():
         vals = yield from ctx.cached_gather(g, A, idx[ctx.rank], cache=cache)
         collected.append((ctx.rank, "post", vals.copy()))
 
-    run_spmd(m2, g, prog2)
+    Session(m2, g).run(prog2)
     assert cache.misses == 2 * p  # rebuilt against the new layout
     pre = {r: v for r, t, v in collected if t == "pre"}
     post = {r: v for r, t, v in collected if t == "post"}
@@ -200,14 +201,14 @@ def test_stale_schedule_replay_raises():
         )
         scheds[ctx.rank] = sched
 
-    run_spmd(m, g, build)
+    Session(m, g).run(build)
     A.redistribute(("cyclic",))
 
     def replay(ctx):
         yield from execute_gather(ctx, scheds[ctx.rank], A)
 
     with pytest.raises(ValidationError, match="stale gather schedule"):
-        run_spmd(Machine(n_procs=p), g, replay)
+        Session(Machine(n_procs=p), g).run(replay)
 
 
 def test_empty_request_ranks():
@@ -286,7 +287,7 @@ def test_2d_gather_replay():
             vals = yield from ctx.cached_gather(g, A, idx[ctx.rank], cache=cache)
             results[ctx.rank].append(vals)
 
-    run_spmd(m, g, prog)
+    Session(m, g).run(prog)
     for vals in results[0]:
         np.testing.assert_array_equal(vals, [ref[0, 0], ref[3, 5], ref[2, 2]])
     for vals in results[1]:
@@ -302,10 +303,12 @@ def test_default_cache_and_clear():
     A.from_global(np.arange(float(n)))
 
     def prog(ctx):
-        yield from ctx.cached_gather(g, A, np.array([[n - 1 - ctx.rank]]))
-        yield from ctx.cached_gather(g, A, np.array([[n - 1 - ctx.rank]]))
+        yield from ctx.cached_gather(g, A, np.array([[n - 1 - ctx.rank]]),
+                                     cache=DEFAULT_CACHE)
+        yield from ctx.cached_gather(g, A, np.array([[n - 1 - ctx.rank]]),
+                                     cache=DEFAULT_CACHE)
 
-    run_spmd(m, g, prog)
+    Session(m, g).run(prog)
     assert DEFAULT_CACHE.hits == p and DEFAULT_CACHE.misses == p
     clear_schedule_cache()
     assert len(DEFAULT_CACHE) == 0 and DEFAULT_CACHE.hits == 0
@@ -323,7 +326,7 @@ def test_cache_eviction_bound():
         for j in range(4):
             yield from ctx.cached_gather(g, A, np.array([[j]]), cache=cache)
 
-    run_spmd(m, g, prog)
+    Session(m, g).run(prog)
     assert len(cache) == 2
     assert cache.evictions == 2
 
@@ -346,7 +349,7 @@ def test_divergent_pattern_with_miss_verdict_rebuilds_consistently():
         idx = np.array([[3]]) if ctx.rank == 0 else np.array([[0]])
         got[ctx.rank] = yield from ctx.cached_gather(g, A, idx, cache=cache)
 
-    run_spmd(Machine(n_procs=2), g, prog)
+    Session(Machine(n_procs=2), g).run(prog)
     assert float(got[0][0]) == 3.0
     assert float(got[1][0]) == 0.0
     # second call was a consistent rebuild on both ranks
@@ -369,7 +372,7 @@ def test_divergent_pattern_with_hit_verdict_raises():
         yield from ctx.cached_gather(g, A, idx, cache=cache)
 
     with pytest.raises(ValidationError, match="divergent index pattern"):
-        run_spmd(Machine(n_procs=2), g, prog)
+        Session(Machine(n_procs=2), g).run(prog)
 
 
 def test_eviction_is_group_atomic():
@@ -391,7 +394,7 @@ def test_eviction_is_group_atomic():
             vals = yield from ctx.cached_gather(g, A, pat[ctx.rank], cache=cache)
             got[ctx.rank].append(vals.copy())
 
-    run_spmd(Machine(n_procs=p), g, prog)  # must not deadlock/crash
+    Session(Machine(n_procs=p), g).run(prog)  # must not deadlock/crash
     for r in range(p):
         np.testing.assert_array_equal(got[r][0], got[r][2])
         np.testing.assert_array_equal(got[r][1], got[r][3])
@@ -416,7 +419,7 @@ def test_oversized_collective_does_not_self_evict():
         for _ in range(3):
             yield from ctx.cached_gather(g, A, idx[ctx.rank], cache=cache)
 
-    trace = run_spmd(Machine(n_procs=p), g, prog)
+    trace = Session(Machine(n_procs=p), g).run(prog)
     # one consistent build, then consistent hits everywhere
     assert trace.schedule_counts() == {"miss": p, "hit": 2 * p}
 
@@ -425,10 +428,8 @@ def test_redistribute_purges_orphaned_doall_plans():
     """Plan-cache keys embed the comm epoch, so redistribution orphans
     old entries; they must be purged, not leaked, across repeated
     redistributions."""
-    from repro.compiler.schedule import _PLAN_CACHE, clear_plan_cache
     from repro.lang import Assign, Doall, Owner, loopvars
 
-    clear_plan_cache()
     n, p = 12, 2
     g = ProcessorGrid((p,))
     u = DistArray((n,), g, dist=("block",), name="u")
@@ -441,13 +442,14 @@ def test_redistribute_purges_orphaned_doall_plans():
     def prog(ctx):
         yield from ctx.doall(loop)
 
+    session = Session(grid=g)
     for k in range(4):
-        run_spmd(Machine(n_procs=p), g, prog)
-        assert len(_PLAN_CACHE) == 1  # exactly the live layout's plan
+        session.run(prog, machine=Machine(n_procs=p))
+        assert len(session.plans) == 1  # exactly the live layout's plan
+        # host-side redistribution must reach session-owned plan caches
         u.redistribute(("cyclic",) if k % 2 == 0 else ("block",))
         v.redistribute(("cyclic",) if k % 2 == 0 else ("block",))
-        assert len(_PLAN_CACHE) == 0  # orphaned plan purged, not leaked
-    clear_plan_cache()
+        assert len(session.plans) == 0  # orphaned plan purged, not leaked
 
 
 def test_aborted_run_does_not_poison_later_runs():
@@ -464,7 +466,7 @@ def test_aborted_run_does_not_poison_later_runs():
         yield from ctx.cached_gather(g, A, idx, cache=cache)
 
     with pytest.raises(ValidationError, match="divergent index pattern"):
-        run_spmd(Machine(n_procs=2), g, diverging)
+        Session(Machine(n_procs=2), g).run(diverging)
 
     # same cache, same array, same tag sequence -- a consistent program
     # must run cleanly and get the correct verdicts
@@ -478,7 +480,7 @@ def test_aborted_run_does_not_poison_later_runs():
             )
             got[ctx.rank].append(float(v[0]))
 
-    run_spmd(Machine(n_procs=2), g, consistent)
+    Session(Machine(n_procs=2), g).run(consistent)
     assert got == {0: [6.0, 6.0], 1: [1.0, 1.0]}
 
 
@@ -499,7 +501,7 @@ def test_straggler_store_cannot_recreate_evicted_group():
         )
         scheds[ctx.rank] = sched
 
-    run_spmd(Machine(n_procs=p), g, build)
+    Session(Machine(n_procs=p), g).run(build)
     cache.store(scheds[0])
     cache.store(scheds[1])
     assert len(cache) == 2
@@ -511,7 +513,7 @@ def test_straggler_store_cannot_recreate_evicted_group():
         )
         scheds[("b", ctx.rank)] = sched
 
-    run_spmd(Machine(n_procs=p), g, build2)
+    Session(Machine(n_procs=p), g).run(build2)
     cache.store(scheds[("b", 0)])
     cache.store(scheds[("b", 1)])
     assert len(cache) == 2  # first group evicted wholesale
@@ -535,7 +537,7 @@ def test_invalidate_array_reaches_section_schedules():
     def prog(ctx):
         yield from ctx.cached_gather(g, sec, idx[ctx.rank], cache=cache)
 
-    run_spmd(Machine(n_procs=p), g, prog)
+    Session(Machine(n_procs=p), g).run(prog)
     assert len(cache) == p
     assert cache.invalidate_array(u) == p  # base invalidation reaches them
     assert len(cache) == 0

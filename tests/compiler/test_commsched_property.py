@@ -9,8 +9,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.compiler import ScheduleCache, inspector_gather
-from repro.lang import BlockCyclic, DistArray, ProcessorGrid, run_spmd
+from repro.lang import BlockCyclic, DistArray, ProcessorGrid
 from repro.machine import Machine
+from repro.session import Session
 
 
 def _dist_of(kind: str):
@@ -64,7 +65,7 @@ def test_cached_replay_bit_identical(case):
     def prog_uncached(ctx):
         reference[ctx.rank] = yield from inspector_gather(ctx, g, A, idx[ctx.rank])
 
-    run_spmd(Machine(n_procs=p), g, prog_uncached)
+    Session(Machine(n_procs=p), g).run(prog_uncached)
 
     # -- cached: one build sweep + replays ---------------------------------
     A2 = fresh_array(g)
@@ -76,7 +77,7 @@ def test_cached_replay_bit_identical(case):
             vals = yield from ctx.cached_gather(g, A2, idx[ctx.rank], cache=cache)
             replays[ctx.rank].append(vals)
 
-    trace = run_spmd(Machine(n_procs=p), g, prog_cached)
+    trace = Session(Machine(n_procs=p), g).run(prog_cached)
 
     for r in range(p):
         for vals in replays[r]:
@@ -110,7 +111,7 @@ def test_replay_never_sends_more_messages(case):
     def prog_uncached(ctx):
         yield from inspector_gather(ctx, g, A, idx[ctx.rank])
 
-    t_un = run_spmd(Machine(n_procs=p), g, prog_uncached)
+    t_un = Session(Machine(n_procs=p), g).run(prog_uncached)
     per_sweep = t_un.message_count()
 
     A2 = fresh_array(g)
@@ -120,7 +121,7 @@ def test_replay_never_sends_more_messages(case):
         for _ in range(sweeps):
             yield from ctx.cached_gather(g, A2, idx[ctx.rank], cache=cache)
 
-    t_ca = run_spmd(Machine(n_procs=p), g, prog_cached)
+    t_ca = Session(Machine(n_procs=p), g).run(prog_cached)
     replay_msgs = t_ca.message_count() - per_sweep
     # build sweep == uncached sweep; each replay costs at most half of one
     # fresh inspection (it drops the entire request round and empty replies)

@@ -11,10 +11,10 @@ from repro.lang import (
     Owner,
     ProcessorGrid,
     loopvars,
-    run_spmd,
 )
 from repro.machine import CostModel, Machine
 from repro.util.errors import CompileError
+from repro.session import Session
 
 
 @pytest.fixture(autouse=True)
@@ -33,7 +33,7 @@ def run_loop(m, grid, loop, sweeps=1):
         for _ in range(sweeps):
             yield from ctx.doall(loop)
 
-    return run_spmd(m, grid, prog)
+    return Session(m, grid).run(prog)
 
 
 def test_pointwise_no_comm():
@@ -248,7 +248,7 @@ def test_section_loop_on_subgrid():
         if sub.contains(ctx.rank):
             yield from ctx.doall(loop)
 
-    run_spmd(m, g, prog)
+    Session(m, g).run(prog)
     expected = ref.copy()
     expected[:, :, 3] *= 2.0
     np.testing.assert_array_equal(u.to_global(), expected)

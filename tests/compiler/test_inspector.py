@@ -5,10 +5,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.lang import DistArray, ProcessorGrid, run_spmd
+from repro.lang import DistArray, ProcessorGrid
 from repro.compiler import inspector_gather
 from repro.machine import Machine
 from repro.util.errors import ValidationError
+from repro.session import Session
 
 
 def gather_on_all(n, p, dist, index_lists):
@@ -24,7 +25,7 @@ def gather_on_all(n, p, dist, index_lists):
         arr = None if idx is None else np.asarray(idx, dtype=np.int64).reshape(-1, 1)
         results[ctx.rank] = yield from inspector_gather(ctx, g, A, arr)
 
-    run_spmd(m, g, prog)
+    Session(m, g).run(prog)
     return results
 
 
@@ -54,7 +55,7 @@ def test_gather_2d_indices():
             idx = np.array([[1, 4]])
         results[ctx.rank] = yield from inspector_gather(ctx, g, A, idx)
 
-    run_spmd(m, g, prog)
+    Session(m, g).run(prog)
     np.testing.assert_array_equal(results[0], [ref[0, 0], ref[3, 5], ref[2, 2]])
     np.testing.assert_array_equal(results[1], [ref[1, 4]])
 
@@ -69,7 +70,7 @@ def test_gather_requires_round_trip_messages():
         idx = np.array([[7 - ctx.rank * 7]])  # each wants the other's element
         yield from inspector_gather(ctx, g, A, idx)
 
-    trace = run_spmd(m, g, prog)
+    trace = Session(m, g).run(prog)
     # two rounds (request + reply), both directions
     assert trace.message_count() == 4
 
@@ -85,7 +86,7 @@ def test_gather_shape_validation():
         return
         yield  # pragma: no cover
 
-    run_spmd(m, g, prog)
+    Session(m, g).run(prog)
 
 
 @settings(max_examples=20, deadline=None)
@@ -124,7 +125,7 @@ def test_gather_preserves_dtype(dtype):
         arr = np.asarray(idx[ctx.rank], dtype=np.int64).reshape(-1, 1)
         results[ctx.rank] = yield from inspector_gather(ctx, g, A, arr)
 
-    run_spmd(m, g, prog)
+    Session(m, g).run(prog)
     for r in range(3):
         assert results[r].dtype == np.dtype(dtype)
     np.testing.assert_array_equal(results[0], np.array([33, 0, 12], dtype=dtype))
@@ -159,7 +160,7 @@ def test_reply_payloads_carry_array_dtype_on_wire():
         except StopIteration as stop:
             seen[ctx.rank] = stop.value
 
-    trace = run_spmd(m, g, prog)
+    trace = Session(m, g).run(prog)
     assert len(reply_payloads) == 2  # one reply each way, one of them empty
     for payload in reply_payloads:
         assert payload.dtype == np.int16

@@ -22,9 +22,9 @@ from repro.lang import (
     Owner,
     ProcessorGrid,
     loopvars,
-    run_spmd,
 )
 from repro.machine import Machine
+from repro.session import Session
 
 
 @pytest.fixture(autouse=True)
@@ -38,7 +38,7 @@ def run_loop(machine, grid, loop):
     def prog(ctx):
         yield from ctx.doall(loop)
 
-    return run_spmd(machine, grid, prog)
+    return Session(machine, grid).run(prog)
 
 
 @settings(max_examples=40, deadline=None)

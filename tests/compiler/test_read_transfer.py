@@ -28,11 +28,11 @@ from repro.lang import (
     Owner,
     ProcessorGrid,
     loopvars,
-    run_spmd,
 )
 from repro.machine import Machine
 from repro.machine.costmodel import CostModel
 from repro.tensor.jacobi import build_jacobi_loop, jacobi_reference
+from repro.session import Session
 
 
 def _stencil_loop(n, p):
@@ -68,7 +68,7 @@ def _run_jacobi(n, p, iters, overlap, cost=None):
     machine = Machine(
         n_procs=p * p, cost=cost if cost is not None else CostModel.hypercube_1989()
     )
-    trace = run_spmd(machine, grid, prog)
+    trace = Session(machine, grid).run(prog)
     return X.to_global(), trace, loop, f
 
 
@@ -131,7 +131,7 @@ def test_golden_reads_emit_gather_direction_marks():
         for _ in range(sweeps):
             yield from ctx.doall(loop)
 
-    trace = run_spmd(Machine(n_procs=p), g, prog)
+    trace = Session(Machine(n_procs=p), g).run(prog)
     # first executing rank compiles (build), every later execution replays
     assert trace.schedule_counts("gather") == {"build": 1, "hit": p * sweeps - 1}
     gather_events = trace.schedule_events("gather")
@@ -275,7 +275,7 @@ def test_overlap_with_remote_writes():
         def prog(ctx, loop=loop, overlap=overlap):
             yield from ctx.doall(loop, overlap=overlap)
 
-        run_spmd(Machine(n_procs=p, cost=cost), g, prog)
+        Session(Machine(n_procs=p, cost=cost), g).run(prog)
         results[overlap] = c.to_global()
     assert np.array_equal(results[False], results[True])
 

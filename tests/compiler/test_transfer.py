@@ -25,10 +25,10 @@ from repro.lang import (
     Owner,
     ProcessorGrid,
     loopvars,
-    run_spmd,
 )
 from repro.machine import Machine
 from repro.util.errors import ValidationError
+from repro.session import Session
 
 
 @pytest.fixture(autouse=True)
@@ -86,7 +86,7 @@ def test_scatter_replay_bit_identical_to_rebuild():
             for _ in range(n_sweeps):
                 yield from ctx.doall(loop)
 
-        trace = run_spmd(Machine(n_procs=p), g, prog)
+        trace = Session(Machine(n_procs=p), g).run(prog)
         return B.to_global(), trace
 
     fresh, t1 = run(1)
@@ -113,7 +113,7 @@ def test_remote_write_messages_carry_values_only():
     def prog(ctx):
         yield from ctx.doall(loop)
 
-    trace = run_spmd(Machine(n_procs=p), g, prog)
+    trace = Session(Machine(n_procs=p), g).run(prog)
     # reversal on block layout: every rank ships its 2 iterations' writes
     # (2 elements) to the mirror rank, plus ghost reads of 2 elements
     assert all(m.nbytes % 8 == 0 for m in trace.messages)
@@ -134,7 +134,7 @@ def test_scatter_direction_reported_separately():
             yield from ctx.doall(loop)
             yield from ctx.cached_gather(g, A, idx[ctx.rank], cache=cache)
 
-    trace = run_spmd(Machine(n_procs=p), g, prog)
+    trace = Session(Machine(n_procs=p), g).run(prog)
     directions = trace.schedule_directions()
     assert set(directions) == {"doall", "scatter", "gather"}
     # gather: first sweep misses on both ranks, later sweeps hit
@@ -161,7 +161,7 @@ def test_local_write_loops_emit_no_scatter_marks():
     def prog(ctx):
         yield from ctx.doall(loop)
 
-    trace = run_spmd(Machine(n_procs=p), g, prog)
+    trace = Session(Machine(n_procs=p), g).run(prog)
     assert trace.schedule_counts("scatter") == {}
     assert trace.schedule_counts("doall") == {"build": 1, "hit": p - 1}
 
@@ -176,7 +176,7 @@ def test_estimator_exact_for_remote_writes():
     def prog(ctx):
         yield from ctx.doall(loop)
 
-    trace = run_spmd(Machine(n_procs=p), g, prog)
+    trace = Session(Machine(n_procs=p), g).run(prog)
     assert est.total_messages() == trace.message_count()
     assert est.total_bytes() == trace.total_bytes()
 
@@ -222,7 +222,7 @@ def test_transposed_lhs_box_store_numerics():
     def prog(ctx):
         yield from ctx.doall(loop)
 
-    run_spmd(Machine(n_procs=4), g, prog)
+    Session(Machine(n_procs=4), g).run(prog)
     np.testing.assert_array_equal(X.to_global(), ref.T)
 
 
@@ -249,7 +249,7 @@ def test_non_box_lhs_falls_back_to_flat_store():
     def prog(ctx):
         yield from ctx.doall(loop)
 
-    run_spmd(Machine(n_procs=p), g, prog)
+    Session(Machine(n_procs=p), g).run(prog)
     np.testing.assert_array_equal(A.to_global(), np.arange(float(n)) + 1.0)
 
 
@@ -267,5 +267,5 @@ def test_empty_rank_still_receives_remote_writes():
     def prog(ctx):
         yield from ctx.doall(loop)
 
-    run_spmd(Machine(n_procs=p), g, prog)
+    Session(Machine(n_procs=p), g).run(prog)
     np.testing.assert_array_equal(B.to_global()[4:], np.arange(4.0))

@@ -11,11 +11,12 @@ import numpy as np
 import pytest
 
 from repro.compiler import clear_plan_cache
-from repro.lang import Assign, DistArray, Doall, Owner, ProcessorGrid, loopvars, run_spmd
+from repro.lang import Assign, DistArray, Doall, Owner, ProcessorGrid, loopvars
 from repro.machine import CostModel, Machine
 from repro.tensor.jacobi import build_jacobi_loop, jacobi_reference
 from repro.tensor.multigrid2d import MG2, mg2_reference
 from repro.tensor.poisson import manufactured_2d
+from repro.session import Session
 
 
 @pytest.fixture(autouse=True)
@@ -50,7 +51,7 @@ def test_jacobi_then_multigrid_same_machine():
             yield from ctx.doall(jac)
         yield from mg.solve(ctx, 2)
 
-    run_spmd(m, g, program)
+    Session(m, g).run(program)
     np.testing.assert_allclose(X.to_global(), jacobi_reference(f, 3), rtol=1e-12)
     np.testing.assert_allclose(u.to_global(), mg2_reference(f, 2), rtol=1e-10, atol=1e-13)
 
@@ -82,7 +83,7 @@ def test_concurrent_subgrid_work_does_not_cross_talk():
         for _ in range(4):
             yield from ctx.doall(loop)
 
-    run_spmd(m, g, program)
+    Session(m, g).run(program)
     for cj in range(2):
         _, T = col_loops[cj]
         ref = np.full(8, float(cj))

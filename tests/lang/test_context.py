@@ -1,11 +1,12 @@
-"""Tests for the SPMD context: tags, collectives, run_spmd."""
+"""Tests for the SPMD context: tags, collectives, Session.run."""
 
 
 import pytest
 
+from repro import Session
 from repro.lang import KaliCtx, ProcessorGrid, run_spmd
 from repro.machine import Compute, Machine
-from repro.util.errors import ValidationError
+from repro.util.errors import ReproDeprecationWarning, ValidationError
 
 
 def test_ctx_requires_membership():
@@ -36,7 +37,7 @@ def test_ctx_allreduce():
         total = yield from ctx.allreduce(g, ctx.rank + 1)
         results[ctx.rank] = total
 
-    run_spmd(m, g, prog)
+    Session(m, g).run(prog)
     assert all(v == 10 for v in results.values())
 
 
@@ -53,7 +54,7 @@ def test_ctx_allreduce_max_on_subgrid():
         else:
             yield Compute(seconds=0.0)
 
-    run_spmd(m, g, prog)
+    Session(m, g).run(prog)
     assert results == {1: 3.0, 3: 3.0}
 
 
@@ -67,26 +68,50 @@ def test_ctx_bcast_and_gather():
         items = yield from ctx.gather(g, ctx.rank * 2, root=0)
         results[ctx.rank] = (v, items)
 
-    run_spmd(m, g, prog)
+    Session(m, g).run(prog)
     assert all(v == "seed" for v, _ in results.values())
     assert results[0][1] == [0, 2, 4]
     assert results[1][1] is None
 
 
-def test_run_spmd_grid_too_big():
+def test_session_run_grid_too_big():
     m = Machine(n_procs=2)
     g = ProcessorGrid((4,))
     with pytest.raises(ValidationError):
-        run_spmd(m, g, lambda ctx: iter(()))
+        Session(m, g).run(lambda ctx: iter(()))
 
 
-def test_run_spmd_returns_trace():
+def test_session_run_needs_machine_and_grid():
+    with pytest.raises(ValidationError):
+        Session().run(lambda ctx: iter(()))
+    with pytest.raises(ValidationError):
+        Session(Machine(n_procs=2)).run(lambda ctx: iter(()))
+
+
+def test_session_run_returns_trace_and_records_history():
     m = Machine(n_procs=2)
     g = ProcessorGrid((2,))
 
     def prog(ctx):
         yield Compute(seconds=2.0)
 
-    trace = m and run_spmd(m, g, prog)
+    s = Session(m, g)
+    trace = s.run(prog)
     assert trace.makespan() == 2.0
     assert trace.busy_time(0) == 2.0
+    assert s.history == [trace]
+
+
+def test_run_spmd_shim_warns_and_runs():
+    m = Machine(n_procs=2)
+    g = ProcessorGrid((2,))
+
+    def prog(ctx):
+        yield Compute(seconds=2.0)
+
+    with pytest.warns(ReproDeprecationWarning):
+        trace = run_spmd(m, g, prog)
+    assert trace.makespan() == 2.0
+    with pytest.warns(ReproDeprecationWarning):
+        with pytest.raises(ValidationError):
+            run_spmd(Machine(n_procs=2), ProcessorGrid((4,)), lambda ctx: iter(()))

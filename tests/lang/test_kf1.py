@@ -4,11 +4,11 @@ import numpy as np
 import pytest
 
 from repro.compiler import clear_plan_cache
-from repro.lang import run_spmd
 from repro.lang.kf1 import parse_program
 from repro.machine import Machine
 from repro.tensor.jacobi import jacobi_reference
 from repro.util.errors import CompileError
+from repro.session import Session
 
 JACOBI = """
 processors procs(2, 2)
@@ -52,7 +52,7 @@ def test_parsed_jacobi_runs_and_matches_reference():
         for _ in range(5):
             yield from ctx.doall(prog.loops[0])
 
-    run_spmd(m, prog.grid, spmd)
+    Session(m, prog.grid).run(spmd)
     np.testing.assert_allclose(
         prog.arrays["X"].to_global(), jacobi_reference(f, 5), rtol=1e-12
     )
@@ -93,7 +93,7 @@ end doall
     def spmd(ctx):
         yield from ctx.doall(prog.loops[0])
 
-    run_spmd(m, prog.grid, spmd)
+    Session(m, prog.grid).run(spmd)
     out = u.to_global()
     np.testing.assert_array_equal(out[2:8:2], [10.0, 20.0, 30.0])
     assert out[8] == 0.0  # k=8 outside the inclusive range [2, 6]
@@ -115,7 +115,7 @@ end doall
     def spmd(ctx):
         yield from ctx.doall(prog.loops[0])
 
-    run_spmd(m, prog.grid, spmd)
+    Session(m, prog.grid).run(spmd)
     out = T.to_global()
     np.testing.assert_array_equal(out[0::4], np.arange(16.0)[1::4] + 1.0)
 

@@ -11,10 +11,11 @@ import numpy as np
 import pytest
 
 from repro.compiler import ScheduleCache, repartition_pieces
-from repro.lang import BlockCyclic, DistArray, ProcessorGrid, run_spmd
+from repro.lang import BlockCyclic, DistArray, ProcessorGrid
 from repro.lang.dist import Distribution
 from repro.machine import Machine
 from repro.util.errors import ValidationError
+from repro.session import Session
 
 
 # ----------------------------------------------------------------------
@@ -101,7 +102,7 @@ def test_collective_redistribute_preserves_values_and_bumps_epoch():
     cache = ScheduleCache()
     epoch0 = A.comm_epoch
 
-    run_spmd(Machine(n_procs=p), g, _flip_program(A, [("cyclic",)], cache))
+    Session(Machine(n_procs=p), g).run(_flip_program(A, [("cyclic",)], cache))
     assert A.dist.spec_key() == (("cyclic",),)
     assert A.comm_epoch == epoch0 + 1  # one bump per collective, not per rank
     np.testing.assert_array_equal(A.to_global(), ref)
@@ -115,7 +116,7 @@ def test_repeated_flips_hit_schedule_cache():
     cache = ScheduleCache()
     flips = [("cyclic",), ("block",)] * 3
 
-    trace = run_spmd(Machine(n_procs=p), g, _flip_program(A, flips, cache))
+    trace = Session(Machine(n_procs=p), g).run(_flip_program(A, flips, cache))
     # two distinct transitions build once each; the other four replay
     assert cache.direction_stats() == {
         "repartition": {"hits": 4 * p, "misses": 2 * p}
@@ -136,7 +137,7 @@ def test_replay_is_bit_identical_to_first_build():
         A.from_global(np.arange(float(n)) * 0.5)
         traces = []
         for _ in range(sweeps):
-            t = run_spmd(Machine(n_procs=p), g, _flip_program(A, flips, cache))
+            t = Session(Machine(n_procs=p), g).run(_flip_program(A, flips, cache))
             traces.append(t)
         return A, traces
 
@@ -158,9 +159,7 @@ def test_replay_observes_current_values():
     cache = ScheduleCache()
     for k in range(3):
         A.from_global(np.arange(float(n)) + 100.0 * k)
-        run_spmd(
-            Machine(n_procs=p), g, _flip_program(A, [("cyclic",), ("block",)], cache)
-        )
+        Session(Machine(n_procs=p), g).run(_flip_program(A, [("cyclic",), ("block",)], cache))
         np.testing.assert_array_equal(A.to_global(), np.arange(float(n)) + 100.0 * k)
 
 
@@ -179,19 +178,13 @@ def test_consecutive_repartitions_with_message_free_flips():
     cache = ScheduleCache()
 
     # same-layout second flip: every rank's schedule is a pure self-move
-    run_spmd(
-        Machine(n_procs=p), g,
-        _flip_program(A, [("cyclic",), ("cyclic",)], cache),
-    )
+    Session(Machine(n_procs=p), g).run(_flip_program(A, [("cyclic",), ("cyclic",)], cache))
     np.testing.assert_array_equal(A.to_global(), ref)
 
     # replicated -> distributed: again no receives anywhere
     B = DistArray((n,), g, name="B")
     B.from_global(ref)
-    run_spmd(
-        Machine(n_procs=p), g,
-        _flip_program(B, [("*",), ("block",)], cache),
-    )
+    Session(Machine(n_procs=p), g).run(_flip_program(B, [("*",), ("block",)], cache))
     np.testing.assert_array_equal(B.to_global(), ref)
     assert B.dist.spec_key() == (("block",),)
 
@@ -208,7 +201,7 @@ def test_redistribute_of_section_rejected():
         yield from ctx.redistribute(sec, ("block",), cache=cache)
 
     with pytest.raises(ValidationError, match="only whole DistArrays"):
-        run_spmd(Machine(n_procs=2), g, prog)
+        Session(Machine(n_procs=2), g).run(prog)
 
 
 def test_collective_redistribute_invalidates_sections_and_gathers():
@@ -224,7 +217,7 @@ def test_collective_redistribute_invalidates_sections_and_gathers():
         yield from ctx.cached_gather(g, u, idx[ctx.rank], cache=cache)
         yield from ctx.redistribute(u, ("*", "cyclic"), cache=cache)
 
-    run_spmd(Machine(n_procs=p), g, prog)
+    Session(Machine(n_procs=p), g).run(prog)
     # gather schedules of the old layout are gone; repartition schedules stay
     assert all(s.direction == "repartition" for s in cache._entries.values())
     with pytest.raises(ValidationError, match="stale section"):
@@ -262,7 +255,7 @@ def _gather_to_all_relayout(machine, A, dist):
         yield Barrier(group=tuple(g.linear), tag="g2a-commit")
         A._commit_repartition(new_dist, "g2a")
 
-    return run_spmd(machine, g, prog)
+    return Session(machine, g).run(prog)
 
 
 def test_golden_repartition_beats_gather_to_all():
@@ -275,9 +268,7 @@ def test_golden_repartition_beats_gather_to_all():
     A = DistArray((n,), g, dist=("block",), name="A")
     A.from_global(ref)
     cache = ScheduleCache()
-    t_sched = run_spmd(
-        Machine(n_procs=p), g, _flip_program(A, [("cyclic",)], cache)
-    )
+    t_sched = Session(Machine(n_procs=p), g).run(_flip_program(A, [("cyclic",)], cache))
     np.testing.assert_array_equal(A.to_global(), ref)
 
     B = DistArray((n,), g, dist=("block",), name="B")

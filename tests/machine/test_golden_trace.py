@@ -19,8 +19,9 @@ from repro.kernels.substructured import (
     clear_routing_cache,
     substructured_tri_solve,
 )
-from repro.lang import Assign, DistArray, Doall, Owner, ProcessorGrid, loopvars, run_spmd
+from repro.lang import Assign, DistArray, Doall, Owner, ProcessorGrid, loopvars
 from repro.machine import Machine
+from repro.session import Session
 
 
 def _dominant_system(n, seed):
@@ -80,7 +81,7 @@ def test_golden_doall_stencil_sweeps():
         for _ in range(sweeps):
             yield from ctx.doall(loop)
 
-    trace = run_spmd(Machine(n_procs=p), g, prog)
+    trace = Session(Machine(n_procs=p), g).run(prog)
     expect = np.arange(float(n))
     expect[0] = expect[-1] = 0.0
     np.testing.assert_array_equal(v.to_global(), expect)
@@ -118,7 +119,7 @@ def test_golden_cached_gather_sweeps():
             vals = yield from ctx.cached_gather(g, A, idx[ctx.rank], cache=cache)
             got[ctx.rank].append(float(vals[0]))
 
-    trace = run_spmd(Machine(n_procs=2), g, prog)
+    trace = Session(Machine(n_procs=2), g).run(prog)
     assert got == {0: [7.0, 7.0, 7.0], 1: [0.0, 0.0, 0.0]}
     # build sweep: 2 requests + 2 replies; each replay: 2 value messages
     assert trace.message_count() == 8

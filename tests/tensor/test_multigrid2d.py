@@ -8,6 +8,7 @@ from repro.lang import ProcessorGrid
 from repro.machine import Machine
 from repro.tensor.multigrid2d import mg2_reference, mg2_solve
 from repro.tensor.poisson import Coeffs2D, manufactured_2d, residual_norm_2d
+from repro.session import Session
 
 
 @pytest.fixture(autouse=True)
@@ -94,7 +95,6 @@ def test_level_marks_record_hierarchy():
 def test_mg2_distributed_x_dimension():
     """MG2 with dist (block, block): line solves use the parallel kernel."""
     from repro.lang import DistArray
-    from repro.lang.context import run_spmd
     from repro.tensor.multigrid2d import MG2
 
     n = 16
@@ -110,6 +110,6 @@ def test_mg2_distributed_x_dimension():
     def prog(ctx):
         yield from mg.solve(ctx, 3)
 
-    run_spmd(m, g, prog)
+    Session(m, g).run(prog)
     ref = mg2_reference(f, cycles=3)
     np.testing.assert_allclose(u.to_global(), ref, rtol=1e-10, atol=1e-12)

@@ -25,6 +25,7 @@ def _load_tool(name):
 
 run_doctests = _load_tool("run_doctests")
 check_doc_links = _load_tool("check_doc_links")
+check_public_api = _load_tool("check_public_api")
 
 
 @pytest.mark.parametrize("module_name", run_doctests.DEFAULT_MODULES)
@@ -45,6 +46,28 @@ def test_docs_tree_exists():
     names = {os.path.basename(p) for p in _markdown_files()}
     assert "architecture.md" in names
     assert "schedule-lifecycle.md" in names
+    assert "api.md" in names
+
+
+def test_public_api_matches_docs():
+    """repro.__all__ must be exactly the documented surface: no
+    accidental exports, no doc omissions, no dangling names."""
+    assert check_public_api.check() == []
+
+
+def test_public_api_checker_catches_drift(tmp_path):
+    """The checker must flag an undocumented export and a phantom doc
+    entry (guard against a regex that silently matches nothing)."""
+    names = [n for n in __import__("repro").__all__ if n != "Session"]
+    doc = tmp_path / "api.md"
+    doc.write_text(
+        "## Public surface\n\n"
+        + " ".join(f"`{n}`" for n in names)
+        + " `not_exported_anywhere`\n"
+    )
+    problems = check_public_api.check(str(doc))
+    assert any("not_exported_anywhere" in p and "not exported" in p for p in problems)
+    assert any("Session" in p and "not documented" in p for p in problems)
 
 
 @pytest.mark.parametrize(

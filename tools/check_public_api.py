@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Assert the public API surface matches the documentation (docs CI job).
+
+``repro.__all__`` is the contract: ``docs/api.md`` ends with a "Public
+surface" section listing every exported name in backticks.  This tool
+fails when the two drift — an accidental export, a forgotten doc entry,
+or an ``__all__`` name that does not actually resolve on the package.
+
+Usage: PYTHONPATH=src python tools/check_public_api.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+API_DOC = os.path.join(REPO_ROOT, "docs", "api.md")
+
+_SECTION = "## Public surface"
+#: A documented name: a backticked identifier (dunders included).
+_NAME = re.compile(r"`([A-Za-z_][A-Za-z0-9_]*)`")
+
+
+def documented_names(path: str = API_DOC) -> set[str]:
+    """Names listed in the docs' "Public surface" section."""
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    if _SECTION not in text:
+        raise SystemExit(f"error: {path} has no {_SECTION!r} section")
+    section = text.split(_SECTION, 1)[1]
+    # the section runs to the next heading (or EOF); prose code spans
+    # with paths or dots never match the identifier pattern
+    section = re.split(r"\n## ", section, maxsplit=1)[0]
+    return {m.group(1) for m in _NAME.finditer(section)}
+
+
+def check(doc_path: str = API_DOC) -> list[str]:
+    """Return a list of problems (empty = surface matches the docs)."""
+    import repro
+
+    problems: list[str] = []
+    exported = set(repro.__all__)
+    if len(repro.__all__) != len(exported):
+        problems.append("repro.__all__ contains duplicates")
+    documented = documented_names(doc_path)
+
+    for name in sorted(exported - documented):
+        problems.append(f"exported but not documented in docs/api.md: {name}")
+    for name in sorted(documented - exported):
+        problems.append(f"documented in docs/api.md but not exported: {name}")
+    for name in sorted(exported):
+        if not hasattr(repro, name):
+            problems.append(f"in repro.__all__ but not an attribute: {name}")
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    for p in problems:
+        print(f"error: {p}", file=sys.stderr)
+    if not problems:
+        print(f"public API surface ok ({len(documented_names())} names)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

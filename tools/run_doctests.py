@@ -21,9 +21,11 @@ import sys
 DEFAULT_MODULES = [
     "repro.compiler.commsched",
     "repro.compiler.estimate",
+    "repro.compiler.schedule",
     "repro.lang.context",
     "repro.machine.costmodel",
     "repro.machine.trace",
+    "repro.session",
 ]
 
 

@@ -40,6 +40,7 @@ from repro.compiler import access as acc
 from repro.compiler.stripmine import IterSet, stripmine
 from repro.lang.array import BaseDistArray
 from repro.lang.doall import Doall
+from repro.lang.expr import compile_expr
 from repro.util.errors import CompileError
 
 
@@ -149,11 +150,23 @@ class LoopAnalysis:
         self.iters: dict[int, IterSet] = stripmine(loop)
         self.stmts = [acc.StmtAccess(st) for st in loop.body]
         self.writes_local = acc.writes_are_local(loop)
+        # Strings the executor stamps on every sweep's ops (Compute
+        # labels, commsched mark payloads): joined once here, never in
+        # the replay loop.
+        self.var_label = ",".join(v.name for v in loop.vars)
+        self.scatter_names = ",".join(sa.lhs_array.name for sa in self.stmts)
+        #: per-rank compiled replay recipes, built lazily by
+        #: :meth:`step_plan` and dropped together with the analysis
+        #: (the cache entry is the only owner), so layout invalidation
+        #: (``drop_plans_for_array``) retires compiled closures exactly
+        #: when it retires the schedules they were built against.
+        self.step_plans: dict[int, "StepPlan"] = {}
 
         # ---- read analysis ------------------------------------------------
         read_map = acc.arrays_read(loop)
         self.read_arrays: list[BaseDistArray] = [a for a, _ in read_map.values()]
         self.read_refs: list[list] = [refs for _, refs in read_map.values()]
+        self.read_names = ",".join(a.name for a in self.read_arrays)
         # needed[arr_idx][rank] -> per-dim lists or None
         self.needed: list[dict[int, list[np.ndarray] | None]] = []
         self.read_plans: list[dict[int, ReadPlan]] = []
@@ -268,6 +281,22 @@ class LoopAnalysis:
 
     # ------------------------------------------------------------------
 
+    def step_plan(self, rank: int) -> "StepPlan":
+        """This rank's compiled replay recipe (built once, memoized).
+
+        The plan freezes everything the interpreted executor re-derives
+        per sweep -- workspace buffers, per-reference fetch positions,
+        lowered rhs closures, lhs store coordinates -- so steady-state
+        replay is a straight drive over prebound numpy calls.  Living on
+        the analysis, a plan's lifetime is exactly the analysis's cache
+        entry lifetime: redistribution keys it away and
+        ``drop_plans_for_array`` purges it eagerly.
+        """
+        plan = self.step_plans.get(rank)
+        if plan is None:
+            plan = self.step_plans[rank] = StepPlan(self, rank)
+        return plan
+
     def interior_count(self, rank: int) -> int:
         """Iteration points of ``rank`` whose reads are all locally owned.
 
@@ -312,6 +341,211 @@ class LoopAnalysis:
     def rank_interior_flops(self, rank: int) -> float:
         """Flops of ``rank``'s ghost-independent (interior) points."""
         return self.interior_count(rank) * self.flops_per_point()
+
+
+class StepPlan:
+    """One rank's compiled replay recipe for a doall loop.
+
+    Everything the interpreted executor re-derives per sweep is frozen
+    here once, at plan-build time:
+
+    * persistent gather workspaces (one buffer per read array, reused
+      every sweep -- the local move plus the schedule receives overwrite
+      every needed element, so no per-sweep allocation or clearing);
+    * per-statement rhs closures lowered by
+      :func:`~repro.lang.expr.compile_expr`: each array reference is
+      pre-bound to its workspace positions (a slice view when the
+      positions form a contiguous box -- the paper's stencils -- else a
+      precomputed fancy gather), so replay never touches the expression
+      AST or evaluates an affine index;
+    * per-statement store recipes: the open-mesh box (or its slice
+      form), frozen flat coordinates for non-box-decomposable writes
+      (which the interpreted path re-derives every sweep), or the
+      scatter TransferSchedule for remote writes;
+    * the Compute labels and flop charges.
+
+    The plan deliberately captures *arrays*, never their local blocks:
+    store targets are resolved through ``array.local(rank)`` on each
+    sweep, so a block swapped by redistribution can never be written
+    through a stale captured buffer -- and the plan itself lives on the
+    :class:`LoopAnalysis`, whose cache key embeds every array's comm
+    epoch and which ``drop_plans_for_array`` purges eagerly.
+
+    The executor in :mod:`repro.compiler.schedule` drives the plan; the
+    replayed op stream (messages, marks, computes) is bit-identical to
+    the interpreted path's, which the equivalence tests assert.
+    """
+
+    __slots__ = (
+        "rank",
+        "analysis",
+        "shape",
+        "n_points",
+        "flops",
+        "label",
+        "label_interior",
+        "label_boundary",
+        "reads",
+        "evals",
+        "stores",
+        "_split",
+    )
+
+    def __init__(self, analysis: LoopAnalysis, rank: int):
+        self.rank = rank
+        self.analysis = analysis
+        iters = analysis.iters[rank]
+        self.shape = iters.shape()
+        self.n_points = iters.count()
+        self.flops = self.n_points * analysis.flops_per_point()
+        self.label = f"doall[{analysis.var_label}]"
+        self.label_interior = f"{self.label}/interior"
+        self.label_boundary = f"{self.label}/boundary"
+        # overlap split (interior/boundary flop charges), derived lazily
+        # like LoopAnalysis.interior_count -- serialized replays never ask
+        self._split: tuple | None = None
+
+        # ---- read side: persistent workspaces + send/recv recipes ------
+        #: (wire kind, array, gather schedule | None, workspace | None)
+        self.reads: list[tuple] = []
+        bufs: dict[int, np.ndarray] = {}
+        needed_of: dict[int, list[np.ndarray]] = {}
+        for arr_idx, plans in enumerate(analysis.read_plans):
+            plan = plans[rank]
+            array = plan.array
+            buf = None
+            if plan.needed is not None:
+                buf = np.empty([n.size for n in plan.needed], dtype=array.dtype)
+                bufs[id(array)] = buf
+                needed_of[id(array)] = plan.needed
+            self.reads.append((f"gh{arr_idx}", array, plan.transfer, buf))
+
+        # ---- statement rhs closures ------------------------------------
+        def resolve(ref):
+            buf = bufs[id(ref.array)]
+            needed = needed_of[id(ref.array)]
+            pos = tuple(
+                acc.positions_in(n, np.asarray(acc.eval_index(e, iters)))
+                for n, e in zip(needed, ref.idx)
+            )
+            box = freeze_positions(pos)
+            sel = pos if box is None else box
+            return lambda: buf[sel]
+
+        shape = self.shape
+        #: per-statement closures producing the broadcast value box
+        self.evals: list = []
+        for sa in analysis.stmts:
+            if self.n_points == 0:
+                self.evals.append(None)
+                continue
+            fn = compile_expr(sa.stmt.rhs, resolve)
+            dt = sa.lhs_array.dtype
+            self.evals.append(
+                lambda fn=fn, dt=dt: np.broadcast_to(
+                    np.asarray(fn(), dtype=dt), shape
+                )
+            )
+
+        # ---- statement store recipes -----------------------------------
+        #: per-statement: ("box", array, locs, perm, shape) |
+        #: ("flat", array, locs) | ("transfer", sched, kind) | None
+        self.stores: list[tuple | None] = []
+        for stmt_idx, sa in enumerate(analysis.stmts):
+            wplan = analysis.write_plans[stmt_idx][rank]
+            if analysis.writes_local:
+                if self.n_points == 0:
+                    self.stores.append(None)
+                elif wplan.local_box is not None:
+                    locs, perm, boxshape = wplan.local_box
+                    box = freeze_positions(locs)
+                    self.stores.append(
+                        ("box", sa.lhs_array, locs if box is None else box,
+                         perm, boxshape)
+                    )
+                else:
+                    # non-box-decomposable all-local write: freeze the
+                    # flat coordinates the interpreted fallback
+                    # (_flat_local_store) re-derives every sweep
+                    self.stores.append(
+                        ("flat", sa.lhs_array, frozen_flat_store(sa, iters))
+                    )
+            else:
+                sched = wplan.transfer
+                self.stores.append(
+                    None if sched is None
+                    else ("transfer", sa.lhs_array, sched, f"wr{stmt_idx}")
+                )
+
+    def charges(self, overlap: bool) -> tuple:
+        """(interior points, interior flops, boundary points, boundary
+        flops) for the requested overlap mode; the split is derived
+        lazily and memoized (serialized replays never pay for it)."""
+        if not overlap:
+            return 0, 0.0, self.n_points, self.flops
+        if self._split is None:
+            fpp = self.analysis.flops_per_point()
+            interior = self.analysis.interior_count(self.rank)
+            remaining = self.n_points - interior
+            self._split = (interior, interior * fpp, remaining, remaining * fpp)
+        return self._split
+
+
+def freeze_positions(pos) -> tuple | None:
+    """Slice form of a broadcast-ready index tuple, or None.
+
+    ``pos`` is a tuple of per-dimension position arrays as the workspace
+    fetch and the box store use them.  When it denotes a box -- each
+    entry varies along its own axis only, its values form a contiguous
+    ascending run, and slice indexing yields the *same result shape* the
+    fancy broadcast would (they differ when the indexed array has more
+    dimensions than the loop nest, e.g. ``A[i, k]`` in a 1-var loop) --
+    the equivalent basic (slice) indexing reads or writes the same
+    elements without the per-call fancy-index gather, returning views on
+    reads.  Anything else (strided runs, diagonal patterns,
+    multi-variable indices) returns None and the caller keeps the
+    precomputed fancy arrays.
+    """
+    d = len(pos)
+    arrays = [np.asarray(p) for p in pos]
+    fancy_shape = np.broadcast_shapes(*(p.shape for p in arrays))
+    out = []
+    sizes = []
+    for k, p in enumerate(arrays):
+        if p.ndim not in (0, d):
+            return None
+        if any(p.shape[ax] > 1 for ax in range(p.ndim) if ax != k):
+            return None
+        flat = p.reshape(-1)
+        if flat.size == 0:
+            return None
+        if flat.size > 1 and not np.all(np.diff(flat) == 1):
+            return None
+        sizes.append(int(flat.size))
+        out.append(slice(int(flat[0]), int(flat[-1]) + 1))
+    if tuple(fancy_shape) != tuple(sizes):
+        return None
+    return tuple(out)
+
+
+def frozen_flat_store(sa, iters: IterSet) -> tuple:
+    """Frozen local flat coordinates of a non-box-decomposable lhs.
+
+    The per-sweep fallback in the interpreted executor derives these
+    from the lhs index expressions on every execution; they only depend
+    on the iteration set and the (epoch-keyed) layout, so the compiled
+    plan computes them once.
+    """
+    array = sa.lhs_array
+    shape = iters.shape()
+    idx_arrays = sa.lhs_index_arrays(iters)
+    full_idx = [
+        np.broadcast_to(np.asarray(a), shape).reshape(-1) for a in idx_arrays
+    ]
+    return tuple(
+        np.asarray(array.dim(k).local_index(full_idx[k]), dtype=np.int64)
+        for k in range(array.ndim)
+    )
 
 
 def freeze_box_store(array: BaseDistArray, idx_arrays, iters_shape: tuple):

@@ -85,6 +85,22 @@ from repro.util.errors import ValidationError
 DIRECTIONS = ("gather", "scatter", "repartition")
 
 
+def _mark(ctx, label: str, payload: tuple):
+    """Yield a schedule Mark, or aggregate it in cheap-marks mode.
+
+    Contexts running with ``marks="cheap"`` (steady-state replay) count
+    the event on the context instead of constructing a per-op
+    :class:`~repro.machine.ops.Mark`; the Session folds the counters
+    into ``Trace.mark_counts`` after the run, so
+    :meth:`~repro.machine.trace.Trace.schedule_counts` and the hit-rate
+    reporting see identical numbers either way.
+    """
+    if getattr(ctx, "marks", "full") == "cheap":
+        ctx.count_mark(label, payload[0])
+        return
+    yield Mark(label, payload=payload)
+
+
 def index_fingerprint(indices: np.ndarray) -> str:
     """Stable fingerprint of an index pattern (shape + contents)."""
     h = hashlib.sha1()
@@ -94,7 +110,8 @@ def index_fingerprint(indices: np.ndarray) -> str:
 
 
 def schedule_key(
-    grid: ProcessorGrid, array: BaseDistArray, indices: np.ndarray, rank: int
+    grid: ProcessorGrid, array: BaseDistArray, indices: np.ndarray, rank: int,
+    fingerprint: str | None = None,
 ) -> tuple:
     """Cache key of one rank's share of a collective gather.
 
@@ -102,7 +119,9 @@ def schedule_key(
     redistribution (which bumps the epoch) orphans every schedule built
     against the old layout.  The rank is part of the key because two
     ranks with identical request patterns still play different roles as
-    senders.
+    senders.  Pass ``fingerprint`` when the caller already hashed the
+    index pattern -- the fingerprint walks the whole index array, so a
+    replay must pay for it exactly once per call, not once per use.
     """
     return (
         "gather",
@@ -110,7 +129,7 @@ def schedule_key(
         array.comm_epoch,
         grid.key(),
         rank,
-        index_fingerprint(indices),
+        fingerprint if fingerprint is not None else index_fingerprint(indices),
     )
 
 
@@ -243,18 +262,40 @@ class TransferSchedule:
 GatherSchedule = TransferSchedule
 
 
+def freeze_payload(values) -> np.ndarray:
+    """Make a message payload by-value without a simulator-side copy.
+
+    Schedule replays build every outgoing payload fresh (a fancy-index
+    read of the source block or value vector), so the simulator's
+    send-time deep copy -- there to give mutable ad-hoc payloads
+    by-value semantics -- is pure waste on the hot path.  Freezing the
+    array (``writeable=False``) marks it as already-by-value: the
+    simulator ships it as-is.  A payload that is *not* a fresh owning
+    array (a view, or something already frozen and possibly shared) is
+    copied here first, so copy-in semantics can never be broken by a
+    read callable that hands out live storage.
+    """
+    values = np.asarray(values)
+    if values.base is not None or not values.flags.owndata \
+            or not values.flags.writeable:
+        values = values.copy()
+    values.flags.writeable = False
+    return values
+
+
 def transfer_sends(ctx, sched: TransferSchedule, read, tag=None, kind: str = "val"):
     """First wire half of a transfer: post the precomputed coalesced sends.
 
     ``read(idx)`` must return the values at source-side index arrays
-    ``idx``.  Sends are asynchronous machine ops: the sender pays only
-    its injection overhead, so a caller may keep computing while the
-    messages are in flight (see :func:`execute_transfer` for the
-    composed serialized path).
+    ``idx``.  Payloads are frozen (:func:`freeze_payload`), so the
+    simulator skips its send-time snapshot copy.  Sends are asynchronous
+    machine ops: the sender pays only its injection overhead, so a
+    caller may keep computing while the messages are in flight (see
+    :func:`execute_transfer` for the composed serialized path).
     """
     me = ctx.rank
     for dst, src_idx in sched.sends:
-        yield Send(dst, read(src_idx), tag=(tag, kind, me))
+        yield Send(dst, freeze_payload(read(src_idx)), tag=(tag, kind, me))
 
 
 def transfer_local_move(sched: TransferSchedule, read, write) -> None:
@@ -317,6 +358,7 @@ def build_gather_schedule(
     array: BaseDistArray,
     indices: np.ndarray | None,
     tag=None,
+    fingerprint: str | None = None,
 ):
     """One-time inspection: build this rank's gather TransferSchedule.
 
@@ -325,6 +367,9 @@ def build_gather_schedule(
     Yields machine ops; evaluates to ``(schedule, values)`` where
     ``values`` are the gathered elements of this first sweep -- so the
     build doubles as an uncached gather and costs no extra messages.
+    ``fingerprint`` lets a caller that already hashed ``indices`` (the
+    cache probe) pass the digest down instead of recomputing it; it is
+    stored on the schedule, which replays key off it from then on.
     """
     if not array.grid.is_subset_of(grid):
         raise ValidationError("array owners must participate in a gather schedule")
@@ -334,14 +379,16 @@ def build_gather_schedule(
     members = grid.linear
 
     indices = normalize_indices(array, indices)
+    if fingerprint is None:
+        fingerprint = index_fingerprint(indices)
     sched = TransferSchedule(
         "gather",
-        key=schedule_key(grid, array, indices, me),
+        key=schedule_key(grid, array, indices, me, fingerprint=fingerprint),
         rank=me,
         grid=grid,
         n_out=indices.shape[0],
         epoch=array.comm_epoch,
-        fingerprint=index_fingerprint(indices),
+        fingerprint=fingerprint,
         # the run id disambiguates builds from different launches, whose
         # per-grid tag counters restart and would otherwise collide
         group=(array.uid, array.comm_epoch, grid.key(),
@@ -791,7 +838,11 @@ class ScheduleCache:
         me = ctx.rank
         tag = ctx.next_tag(grid)
         call_id = (array.uid, array.comm_epoch, tag)
-        key = schedule_key(grid, array, indices, me)
+        # hash the index pattern exactly once per call: the same digest
+        # keys the probe, stamps the miss mark, and lands on the built
+        # schedule (whose stored fingerprint serves every later replay)
+        fingerprint = index_fingerprint(indices)
+        key = schedule_key(grid, array, indices, me, fingerprint=fingerprint)
         decision = self._decide(call_id, key, grid, getattr(ctx, "run_id", None))
 
         if decision.kind == "hit":
@@ -812,9 +863,9 @@ class ScheduleCache:
             if sched.group in self._groups:
                 self._groups.move_to_end(sched.group)
             self._consume(call_id, decision)
-            yield Mark(
-                "commsched/hit",
-                payload=("gather", array.name, sched.fingerprint[:8]),
+            yield from _mark(
+                ctx, "commsched/hit",
+                ("gather", array.name, sched.fingerprint[:8]),
             )
             result = yield from execute_gather(ctx, sched, array, tag=tag)
             return result
@@ -822,12 +873,12 @@ class ScheduleCache:
         self.misses += 1
         self._count("gather", "misses")
         self._consume(call_id, decision)
-        yield Mark(
-            "commsched/miss",
-            payload=("gather", array.name, index_fingerprint(indices)[:8]),
+        yield from _mark(
+            ctx, "commsched/miss",
+            ("gather", array.name, fingerprint[:8]),
         )
         sched, values = yield from build_gather_schedule(
-            ctx, grid, array, indices, tag=tag
+            ctx, grid, array, indices, tag=tag, fingerprint=fingerprint
         )
         self.store(sched)
         return values
@@ -856,11 +907,11 @@ class ScheduleCache:
             self._count("repartition", "hits")
             if sched.group in self._groups:
                 self._groups.move_to_end(sched.group)
-            yield Mark("commsched/hit", payload=("repartition", array.name, label))
+            yield from _mark(ctx, "commsched/hit", ("repartition", array.name, label))
         else:
             self.misses += 1
             self._count("repartition", "misses")
-            yield Mark("commsched/miss", payload=("repartition", array.name, label))
+            yield from _mark(ctx, "commsched/miss", ("repartition", array.name, label))
             sched = build_repartition_schedule(
                 array, new_dist, me,
                 # one group per collective call: run id + tag identify it

@@ -54,6 +54,8 @@ class KaliCtx:
         grid: ProcessorGrid,
         run_id: int | None = None,
         session=None,
+        compiled: bool | None = None,
+        marks: str | None = None,
     ):
         if not grid.contains(rank):
             raise ValidationError(f"rank {rank} not in grid {grid.shape}")
@@ -61,7 +63,32 @@ class KaliCtx:
         self.grid = grid
         self.run_id = run_id
         self.session = session
+        #: executor mode for doall loops: True replays compiled
+        #: StepPlans, False runs the interpreted reference path.
+        #: Defaults to the Session's setting (True without one).
+        self.compiled = (
+            compiled if compiled is not None
+            else getattr(session, "compiled", True)
+        )
+        #: "full" records every schedule Mark; "cheap" aggregates them
+        #: into :attr:`mark_counts` (no per-op mark objects on the hot
+        #: path; the Session folds the counts into the trace).
+        self.marks = (
+            marks if marks is not None else getattr(session, "marks", "full")
+        )
+        if self.marks not in ("full", "cheap"):
+            raise ValidationError(
+                f"marks must be 'full' or 'cheap', got {self.marks!r}"
+            )
+        #: (label, direction) -> count, filled in cheap-marks mode.
+        self.mark_counts: dict[tuple, int] = {}
         self._counters: dict[tuple, int] = {}
+
+    def count_mark(self, label: str, direction: str) -> None:
+        """Aggregate one schedule event (cheap-marks mode)."""
+        key = (label, direction)
+        counts = self.mark_counts
+        counts[key] = counts.get(key, 0) + 1
 
     # -- tag discipline --------------------------------------------------
 
@@ -103,7 +130,7 @@ class KaliCtx:
 
     # -- compiled loops ---------------------------------------------------
 
-    def doall(self, loop, overlap: bool = False):
+    def doall(self, loop, overlap: bool = False, compiled: bool | None = None):
         """Execute a doall loop; yields machine ops (use ``yield from``).
 
         With ``overlap=True`` the executor charges the loop's interior
@@ -112,6 +139,12 @@ class KaliCtx:
         with in-flight communication; the messages themselves are
         byte-identical to the serialized mode.  See
         :func:`repro.compiler.schedule.execute_doall`.
+
+        ``compiled`` overrides this context's executor mode for one
+        call: True replays the loop's frozen
+        :class:`~repro.compiler.commgen.StepPlan` (the default), False
+        runs the interpreted reference executor -- same results, same
+        trace, the fast path just skips the per-sweep AST walk.
 
         The loop's compiled plan (and its frozen TransferSchedules)
         lives in this context's Session plan cache; compile loops ahead
@@ -129,7 +162,7 @@ class KaliCtx:
                 ReproDeprecationWarning,
                 stacklevel=2,
             )
-        return execute_doall(self, loop, overlap=overlap)
+        return execute_doall(self, loop, overlap=overlap, compiled=compiled)
 
     # -- irregular gathers ------------------------------------------------
 

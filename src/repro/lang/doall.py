@@ -143,15 +143,19 @@ class Doall:
             if not isinstance(st, Assign):
                 raise ValidationError(f"doall body statement {st!r} is not Assign")
         self.grid = grid
-        for arr in self.arrays():
+        # A Doall is immutable once built (vars/ranges/on/body are fixed;
+        # plan caching depends on that), so the referenced-array set and
+        # the structural key can be derived once and memoized.
+        self._arrays = self._scan_arrays()
+        self._key_cache: tuple | None = None
+        for arr in self._arrays:
             if not arr.grid.is_subset_of(grid):
                 raise CompileError(
                     f"array {arr.name!r} lives on ranks outside the loop grid; "
                     "every owner must execute the doall"
                 )
 
-    def arrays(self) -> list[BaseDistArray]:
-        """All distinct arrays referenced by the loop (reads and writes)."""
+    def _scan_arrays(self) -> list[BaseDistArray]:
         seen: dict[int, BaseDistArray] = {}
         for st in self.body:
             for ref in [st.lhs] + st.rhs.refs():
@@ -160,23 +164,41 @@ class Doall:
             seen.setdefault(id(self.on.array), self.on.array)
         return list(seen.values())
 
+    def arrays(self) -> list[BaseDistArray]:
+        """All distinct arrays referenced by the loop (reads and writes)."""
+        return list(self._arrays)
+
     def key(self):
         """Structural identity for plan caching.
 
         Includes each referenced array's ``comm_epoch`` (via the Ref and
         Owner keys), so redistributing an array automatically retires the
         plans compiled against its old layout.
+
+        The loop structure is immutable, so the only key component that
+        can move between calls is the epoch vector; the full key walk (a
+        traversal of every statement's expression tree) runs once per
+        epoch state and is replayed from a one-entry memo afterwards --
+        the probe on the steady-state replay path costs an epoch scan,
+        not a tree walk.
         """
-        return (
+        epochs = tuple(getattr(a, "comm_epoch", 0) for a in self._arrays)
+        cached = self._key_cache
+        if cached is not None and cached[0] == epochs:
+            return cached[1]
+        key = (
             tuple(v.name for v in self.vars),
             self.ranges,
             self.on.key(),
             tuple(st.key() for st in self.body),
             self.grid.key(),
         )
+        self._key_cache = (epochs, key)
+        return key
 
     def invalidate_plan(self) -> None:
         """Drop this loop's cached analysis/communication schedule."""
         from repro.compiler.schedule import drop_plan
 
         drop_plan(self)
+        self._key_cache = None

@@ -335,6 +335,46 @@ class BinOp(Expr):
         return f"({self.left!r} {self.op} {self.right!r})"
 
 
+#: numpy ufuncs behind each BinOp operator -- bound once at lowering
+#: time so a compiled expression never consults this table per call.
+UFUNCS = {"+": np.add, "-": np.subtract, "*": np.multiply, "/": np.divide}
+
+
+def compile_expr(expr: Expr, resolve):
+    """Lower a value expression into a closure (the compiled fast path).
+
+    ``resolve(ref)`` is called once per :class:`Ref` *now*, at lowering
+    time, and must return a zero-argument callable producing that
+    reference's current values (vectorized over the iteration set --
+    typically a pre-bound fancy-index or slice read of a gather
+    workspace).  The returned closure re-evaluates the whole expression
+    on each call through pre-bound numpy ufuncs: no AST walk, no
+    operator dispatch, no affine index evaluation at call time.
+
+    The tree-walking interpreter
+    (:func:`repro.compiler.schedule._eval_expr`) remains the reference
+    semantics; the two paths must agree bit-for-bit, which the
+    equivalence tests assert over random expression trees.
+
+    >>> import numpy as np
+    >>> e = as_expr(2.0) * as_expr(3.0) - as_expr(1.0)
+    >>> fn = compile_expr(e, resolve=lambda ref: None)
+    >>> float(fn())
+    5.0
+    """
+    if isinstance(expr, Const):
+        value = expr.value
+        return lambda: value
+    if isinstance(expr, Ref):
+        return resolve(expr)
+    if isinstance(expr, BinOp):
+        op = UFUNCS[expr.op]
+        left = compile_expr(expr.left, resolve)
+        right = compile_expr(expr.right, resolve)
+        return lambda: op(left(), right())
+    raise CompileError(f"cannot compile expression {expr!r}")
+
+
 class Assign:
     """One statement ``lhs[...] = rhs`` inside a doall body.
 

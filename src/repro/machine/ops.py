@@ -85,7 +85,10 @@ class Send:
 
     The payload is snapshotted (numpy arrays copied) at send time, so
     later mutation by the sender cannot be observed by the receiver --
-    this is what makes the copy-in semantics of doall loops safe.
+    this is what makes the copy-in semantics of doall loops safe.  A
+    payload already frozen by the sender (``writeable=False``, see
+    :func:`repro.compiler.commsched.freeze_payload`) is by-value
+    already and ships without the copy.
     """
 
     dst: int

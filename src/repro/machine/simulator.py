@@ -39,8 +39,22 @@ NodeProgram = Generator[Any, Any, Any]
 
 
 def _snapshot(data: Any) -> Any:
-    """Copy mutable payloads at send time (message has by-value semantics)."""
+    """Copy mutable payloads at send time (message has by-value semantics).
+
+    Arrays frozen by the sender
+    (:func:`repro.compiler.commsched.freeze_payload` sets
+    ``writeable=False`` on payloads the schedule executor already built
+    fresh) are by-value already and ship without a copy -- the hot
+    replay path never pays for a second snapshot.  The skip requires
+    the array to *own* its memory: a read-only view of live storage
+    (``np.broadcast_to`` of a mutable buffer, say) is not by-value --
+    the sender can still mutate it through the base -- so it is copied
+    like any other mutable payload.  Ad-hoc sends of live buffers keep
+    their exact historical semantics.
+    """
     if isinstance(data, np.ndarray):
+        if not data.flags.writeable and data.base is None and data.flags.owndata:
+            return data
         return data.copy()
     if isinstance(data, list):
         return [_snapshot(x) for x in data]
@@ -267,17 +281,11 @@ class Machine:
                 )
 
         def _stamp_recv(rec_idx: int, t_recv: float) -> None:
-            rec = trace.messages[rec_idx]
-            trace.messages[rec_idx] = MessageRecord(
-                src=rec.src,
-                dst=rec.dst,
-                tag=rec.tag,
-                nbytes=rec.nbytes,
-                hops=rec.hops,
-                t_send=rec.t_send,
-                t_arrive=rec.t_arrive,
-                t_recv=t_recv,
-            )
+            # the simulator owns the record and no hash has been taken
+            # yet, so stamping the consume time in place (rather than
+            # rebuilding the frozen dataclass) is safe -- and this runs
+            # once per message on the hot replay path
+            object.__setattr__(trace.messages[rec_idx], "t_recv", t_recv)
 
         while heap:
             _time, _s, kind, payload = heapq.heappop(heap)

@@ -53,13 +53,27 @@ class MarkRecord:
 
 @dataclass
 class Trace:
-    """Complete record of one simulated run."""
+    """Complete record of one simulated run.
+
+    ``level`` records how marks were collected: ``"full"`` (default)
+    keeps every :class:`MarkRecord`; ``"cheap"`` means the run was
+    launched with cheap-marks mode (``Session.run(marks="cheap")``), in
+    which steady-state schedule events were *counted* into
+    ``mark_counts`` instead of materialized as records -- message and
+    byte accounting is unaffected, and :meth:`schedule_counts` /
+    :meth:`schedule_hit_rate` fold the counters in, but
+    :meth:`schedule_events` only sees the (rare) marks that were still
+    recorded.  ``mark_counts`` maps ``(label, direction)`` to an event
+    count, e.g. ``("commsched/hit", "gather") -> 12``.
+    """
 
     n_procs: int
     computes: list[ComputeRecord] = field(default_factory=list)
     messages: list[MessageRecord] = field(default_factory=list)
     marks: list[MarkRecord] = field(default_factory=list)
     finish_times: dict[int, float] = field(default_factory=dict)
+    level: str = "full"
+    mark_counts: dict[tuple, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -174,11 +188,24 @@ class Trace:
         0.5
         >>> t.schedule_directions()
         {'gather': {'miss': 1, 'hit': 1}, 'scatter': {'hit': 1}}
+
+        Cheap-marks counters contribute too:
+
+        >>> t.mark_counts[("commsched/hit", "gather")] = 5
+        >>> t.schedule_counts("gather")
+        {'miss': 1, 'hit': 6}
         """
         out: dict[str, int] = {}
         for m in self.schedule_events(direction):
             kind = m.label[len(self.SCHED_PREFIX):]
             out[kind] = out.get(kind, 0) + 1
+        for (label, dirn), n in self.mark_counts.items():
+            if not label.startswith(self.SCHED_PREFIX):
+                continue
+            if direction is not None and dirn != direction:
+                continue
+            kind = label[len(self.SCHED_PREFIX):]
+            out[kind] = out.get(kind, 0) + n
         return out
 
     def schedule_hit_rate(self, direction: str | None = None) -> float:
@@ -209,6 +236,12 @@ class Trace:
             kind = m.label[len(self.SCHED_PREFIX):]
             d = out.setdefault(direction, {})
             d[kind] = d.get(kind, 0) + 1
+        for (label, direction), n in self.mark_counts.items():
+            if not label.startswith(self.SCHED_PREFIX):
+                continue
+            kind = label[len(self.SCHED_PREFIX):]
+            d = out.setdefault(direction, {})
+            d[kind] = d.get(kind, 0) + n
         return out
 
     # ------------------------------------------------------------------

@@ -103,15 +103,29 @@ class Session:
         grid: ProcessorGrid | None = None,
         cost: CostModel | None = None,
         *,
+        compiled: bool = True,
+        marks: str = "full",
         max_schedule_entries: int = 256,
         max_plan_entries: int = 4096,
         max_history: int = 256,
     ):
         if max_history <= 0:
             raise ValidationError("Session needs max_history >= 1")
+        if marks not in ("full", "cheap"):
+            raise ValidationError(f"marks must be 'full' or 'cheap', got {marks!r}")
         self.machine = machine
         self.grid = grid
         self.cost = cost if cost is not None else getattr(machine, "cost", None)
+        #: default doall executor mode for launches from this Session:
+        #: True replays compiled StepPlans (the fast path), False runs
+        #: the interpreted reference executor.  Each run (and each
+        #: ``ctx.doall`` call) may override it.
+        self.compiled = compiled
+        #: default mark mode: "full" records every schedule Mark,
+        #: "cheap" aggregates steady-state schedule events into
+        #: ``Trace.mark_counts`` (identical hit-rate reporting, no
+        #: per-op mark objects).
+        self.marks = marks
         #: transfer-schedule cache (gather/scatter/repartition wire schedules)
         self.cache = ScheduleCache(max_entries=max_schedule_entries)
         #: compiled-plan cache (doall analyses, line-solver plans, ...)
@@ -147,6 +161,8 @@ class Session:
         *args: Any,
         machine: Machine | None = None,
         grid: ProcessorGrid | None = None,
+        compiled: bool | None = None,
+        marks: str | None = None,
         **kwargs: Any,
     ) -> Trace:
         """Run ``routine(ctx, *args, **kwargs)`` on every rank of the grid.
@@ -156,13 +172,20 @@ class Session:
         rank's :class:`~repro.lang.context.KaliCtx` is bound to this
         Session, so every collective inside consults this Session's
         caches.  The trace is appended to :attr:`history` and returned.
-        ``machine``/``grid`` override the Session defaults; a routine
-        parameter with either name must be bound via ``functools.partial``
-        (or the :func:`run_spmd` shim, which forwards kwargs verbatim).
+        ``machine``/``grid`` override the Session defaults, and
+        ``compiled``/``marks`` override its executor and mark modes for
+        this launch; a routine parameter with any of these names must be
+        bound via ``functools.partial`` (or the :func:`run_spmd` shim,
+        which forwards kwargs verbatim).
         """
-        return self._launch_routine(machine, grid, routine, args, kwargs)
+        return self._launch_routine(
+            machine, grid, routine, args, kwargs, compiled=compiled, marks=marks
+        )
 
-    def _launch_routine(self, machine, grid, routine, args, kwargs) -> Trace:
+    def _launch_routine(
+        self, machine, grid, routine, args, kwargs,
+        compiled: bool | None = None, marks: str | None = None,
+    ) -> Trace:
         """Launch core with no keyword capture: ``kwargs`` go to the
         routine untouched (the run_spmd shim relies on this to keep the
         legacy signature, where ``machine``/``grid`` were positional)."""
@@ -173,13 +196,31 @@ class Session:
         # per-session counters restarting at 0 would collide.  Ids never
         # enter traces, so this does not affect determinism.
         run_id = next(_RUN_IDS)
-        programs = {
-            rank: routine(
-                KaliCtx(rank, grid, run_id=run_id, session=self), *args, **kwargs
+        ctxs = {
+            rank: KaliCtx(
+                rank, grid, run_id=run_id, session=self,
+                compiled=compiled, marks=marks,
             )
             for rank in grid.linear
         }
-        return self._record(machine.run(programs))
+        programs = {
+            rank: routine(ctxs[rank], *args, **kwargs) for rank in grid.linear
+        }
+        trace = machine.run(programs)
+        self._fold_mark_counts(trace, ctxs.values())
+        return self._record(trace)
+
+    @staticmethod
+    def _fold_mark_counts(trace: Trace, ctxs) -> None:
+        """Aggregate cheap-marks counters from the ranks into the trace."""
+        merged: dict[tuple, int] = trace.mark_counts
+        cheap = False
+        for ctx in ctxs:
+            cheap = cheap or ctx.marks == "cheap"
+            for key, n in ctx.mark_counts.items():
+                merged[key] = merged.get(key, 0) + n
+        if cheap:
+            trace.level = "cheap"
 
     def launch(self, programs: dict, machine: Machine | None = None) -> Trace:
         """Run pre-built per-rank node programs (no contexts involved).
@@ -291,6 +332,8 @@ class Program:
         *args: Any,
         iters: int = 1,
         overlap: bool = False,
+        compiled: bool | None = None,
+        marks: str | None = None,
         machine: Machine | None = None,
         bindings: dict[str, np.ndarray] | None = None,
         **kwargs: Any,
@@ -304,9 +347,22 @@ class Program:
         programs, ``*args``/``**kwargs`` are forwarded to the routine.
         Each run replays the schedules frozen at compile time --
         re-running never re-derives communication.
+
+        ``compiled`` (default True, from the Session) picks the
+        executor: the compiled fast path resolves each loop's cached
+        analysis once per run and replays its frozen per-rank
+        :class:`~repro.compiler.commgen.StepPlan` every sweep -- no
+        per-sweep cache probe, no expression interpretation;
+        ``compiled=False`` runs the interpreted reference executor.
+        Results, traces, and cache accounting are bit-identical between
+        the two.  ``marks="cheap"`` additionally aggregates steady-state
+        schedule marks into ``Trace.mark_counts`` instead of per-op
+        records (default "full" is unchanged behavior).
         """
         if iters < 1:
             raise ValidationError(f"iters must be >= 1, got {iters}")
+        if compiled is None:
+            compiled = self.session.compiled
         if self.routine is not None:
             if bindings is not None:
                 raise ValidationError("bindings apply to loop programs only")
@@ -322,7 +378,10 @@ class Program:
                 for _ in range(niters):
                     yield from routine(ctx, *args, **kwargs)
 
-            return self.session.run(_program, machine=machine, grid=self.grid)
+            return self.session.run(
+                _program, machine=machine, grid=self.grid,
+                compiled=compiled, marks=marks,
+            )
 
         if args:
             raise ValidationError(
@@ -345,12 +404,42 @@ class Program:
             self.arrays[name].from_global(np.asarray(value))
         loops, niters = self.loops, iters
 
-        def _program(ctx):
-            for _ in range(niters):
-                for loop in loops:
-                    yield from ctx.doall(loop, overlap=overlap)
+        if compiled:
+            # The steady-state fast path: resolve each loop's analysis
+            # at its first execution (one cache probe per loop per rank
+            # per *run*), then replay the frozen StepPlans directly --
+            # later sweeps skip the structural-key walk and count as-if
+            # hits so the accounting matches the interpreted path's
+            # per-sweep probes.  Loop programs contain no redistribution,
+            # so a pinned analysis cannot go stale within a run; between
+            # runs the probe picks up any layout change.
+            from repro.compiler.schedule import replay_analysis
 
-        return self.session.run(_program, machine=machine, grid=self.grid)
+            def _program(ctx):
+                plans = ctx.session.plans
+                resolved: list = [None] * len(loops)
+                for _ in range(niters):
+                    for n, loop in enumerate(loops):
+                        if resolved[n] is None:
+                            analysis, reused = plans.analysis(loop)
+                            resolved[n] = analysis
+                        else:
+                            analysis, reused = resolved[n], True
+                            plans.count_replay("doall")
+                        yield from replay_analysis(
+                            ctx, analysis, overlap=overlap,
+                            compiled=True, reused=reused,
+                        )
+        else:
+            def _program(ctx):
+                for _ in range(niters):
+                    for loop in loops:
+                        yield from ctx.doall(loop, overlap=overlap, compiled=False)
+
+        return self.session.run(
+            _program, machine=machine, grid=self.grid,
+            compiled=compiled, marks=marks,
+        )
 
     # -- static analysis ---------------------------------------------------
 

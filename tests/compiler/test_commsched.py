@@ -541,3 +541,42 @@ def test_invalidate_array_reaches_section_schedules():
     assert len(cache) == p
     assert cache.invalidate_array(u) == p  # base invalidation reaches them
     assert len(cache) == 0
+
+
+def test_fingerprint_hashed_once_per_gather_call(monkeypatch):
+    """The index fingerprint is the one per-call hash: the probe key, the
+    mark payload, and the built schedule's stored fingerprint all share
+    a single computation (replays used to hash twice or thrice)."""
+    from repro.compiler import commsched
+
+    calls = {"n": 0}
+    real = commsched.index_fingerprint
+
+    def counting(indices):
+        calls["n"] += 1
+        return real(indices)
+
+    monkeypatch.setattr(commsched, "index_fingerprint", counting)
+
+    p = 2
+    g = ProcessorGrid((p,))
+    A = DistArray((10,), g, dist=("block",), name="A")
+    A.from_global(np.arange(10.0))
+    cache = ScheduleCache()
+    idx = {0: np.array([[1], [7]]), 1: np.array([[3]])}
+    sweeps = 4
+
+    def prog(ctx):
+        for _ in range(sweeps):
+            yield from ctx.cached_gather(g, A, idx[ctx.rank], cache=cache)
+
+    trace = Session(Machine(n_procs=p), g).run(prog)
+    # one hash per rank per collective call -- build and replay alike
+    assert calls["n"] == p * sweeps
+    # the replay marks carry the schedule's stored fingerprint
+    hits = [m for m in trace.marks if m.label == "commsched/hit"]
+    misses = [m for m in trace.marks if m.label == "commsched/miss"]
+    assert len(hits) == p * (sweeps - 1) and len(misses) == p
+    by_rank_fp = {m.proc: m.payload[2] for m in misses}
+    for m in hits:
+        assert m.payload[2] == by_rank_fp[m.proc]

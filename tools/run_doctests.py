@@ -23,6 +23,7 @@ DEFAULT_MODULES = [
     "repro.compiler.estimate",
     "repro.compiler.schedule",
     "repro.lang.context",
+    "repro.lang.expr",
     "repro.machine.costmodel",
     "repro.machine.trace",
     "repro.session",

@@ -39,6 +39,7 @@ Quickstart (the two-phase compile-and-run API; see docs/api.md)::
 
 from repro.machine import (
     ANY,
+    Backend,
     Barrier,
     Complete,
     Compute,
@@ -55,6 +56,7 @@ from repro.machine import (
     Torus2D,
     Trace,
 )
+from repro.machine.mpbackend import MultiprocessingBackend
 from repro.lang import (
     Assign,
     Block,
@@ -102,7 +104,7 @@ __all__ = [
     # sessions and programs (the two-phase compile-and-run API)
     "Session", "Program", "compile", "default_session",
     # machine
-    "Machine", "CostModel", "Trace",
+    "Machine", "Backend", "MultiprocessingBackend", "CostModel", "Trace",
     "Complete", "Line", "Ring", "Mesh2D", "Torus2D", "Hypercube",
     "Compute", "Send", "Recv", "Barrier", "Mark", "Now", "ANY",
     # language

@@ -78,7 +78,7 @@ from repro.compiler.inspector import (
 )
 from repro.lang.array import BaseDistArray
 from repro.lang.procs import ProcessorGrid
-from repro.machine.ops import Barrier, Mark, Recv, Send
+from repro.machine.ops import Barrier, Mark, Recv, Send, frozen_by_value
 from repro.util.errors import ValidationError
 
 #: Transfer directions understood by the subsystem.
@@ -270,12 +270,18 @@ def freeze_payload(values) -> np.ndarray:
     send-time deep copy -- there to give mutable ad-hoc payloads
     by-value semantics -- is pure waste on the hot path.  Freezing the
     array (``writeable=False``) marks it as already-by-value: the
-    simulator ships it as-is.  A payload that is *not* a fresh owning
-    array (a view, or something already frozen and possibly shared) is
-    copied here first, so copy-in semantics can never be broken by a
-    read callable that hands out live storage.
+    simulator ships it as-is.  A payload that is already by-value --
+    frozen and owning, or a read-only view whose whole base chain is
+    frozen (:func:`repro.machine.ops.frozen_by_value`), e.g. a slice of
+    a frozen value vector -- passes through untouched, so replaying a
+    schedule against frozen inputs never degenerates into a per-sweep
+    copy.  Anything else that is not a fresh owning writable array (a
+    live view, shared storage) is copied first, so copy-in semantics
+    can never be broken by a read callable that hands out live storage.
     """
     values = np.asarray(values)
+    if frozen_by_value(values):
+        return values
     if values.base is not None or not values.flags.owndata \
             or not values.flags.writeable:
         values = values.copy()

@@ -64,7 +64,7 @@ from repro.compiler.commsched import (
 )
 from repro.lang.doall import Doall
 from repro.lang.expr import BinOp, Const, Ref
-from repro.machine.ops import Compute, Mark
+from repro.machine.ops import Compute, Mark, Recv, Send
 from repro.util.errors import CompileError, ValidationError
 
 #: Every live PlanCache (including session-owned ones), so that
@@ -336,31 +336,41 @@ def replay_analysis(
     if compiled is None:
         compiled = getattr(ctx, "compiled", True)
     tag = ctx.next_tag(analysis.loop.grid)
+    yield from announce_replay(ctx, analysis, reused)
+    if compiled:
+        yield from _replay_step_plan(ctx, analysis.step_plan(me), overlap, tag)
+    else:
+        yield from _interpret_doall(ctx, analysis, overlap, tag)
+
+
+def announce_replay(ctx, analysis: LoopAnalysis, reused: bool):
+    """Announce one doall replay (or compile) to the trace.
+
+    Yields the ``commsched/hit`` / ``commsched/build`` Marks -- or, in
+    cheap-marks mode, aggregates counters on the context and yields
+    nothing (the Session folds the counts into ``Trace.mark_counts``
+    after the run).  Shared by the live executors *and* the
+    multiprocessing backend's shadow replay, so the two op streams can
+    never drift on mark content.
+    """
     kind = "commsched/hit" if reused else "commsched/build"
     if getattr(ctx, "marks", "full") == "cheap":
-        # cheap-marks mode: aggregate counters on the context, no Mark
-        # op objects in the steady-state loop (Session folds the counts
-        # into Trace.mark_counts after the run)
         note = ctx.count_mark
         note(kind, "doall")
         if analysis.has_read_transfers:
             note(kind, "gather")
         if analysis.has_remote_writes:
             note(kind, "scatter")
-    else:
-        yield Mark(kind, payload=("doall", analysis.var_label))
-        if analysis.has_read_transfers:
-            # the loop's gather schedules replay (or compile) together
-            # with the plan; announce them under their own direction so
-            # per-direction reuse reporting sees the read side
-            yield Mark(kind, payload=("gather", analysis.read_names))
-        if analysis.has_remote_writes:
-            # likewise for the write-side scatter schedules
-            yield Mark(kind, payload=("scatter", analysis.scatter_names))
-    if compiled:
-        yield from _replay_step_plan(ctx, analysis.step_plan(me), overlap, tag)
-    else:
-        yield from _interpret_doall(ctx, analysis, overlap, tag)
+        return
+    yield Mark(kind, payload=("doall", analysis.var_label))
+    if analysis.has_read_transfers:
+        # the loop's gather schedules replay (or compile) together
+        # with the plan; announce them under their own direction so
+        # per-direction reuse reporting sees the read side
+        yield Mark(kind, payload=("gather", analysis.read_names))
+    if analysis.has_remote_writes:
+        # likewise for the write-side scatter schedules
+        yield Mark(kind, payload=("scatter", analysis.scatter_names))
 
 
 def _replay_step_plan(ctx, plan, overlap: bool, tag):
@@ -543,6 +553,92 @@ def _flat_local_store(sa, iters, rank: int, values: np.ndarray) -> None:
         for k in range(array.ndim)
     )
     array.local(rank)[locs] = values.reshape(-1)
+
+
+def shadow_replay_analysis(
+    ctx, analysis: LoopAnalysis, overlap: bool = False, reused: bool = True,
+):
+    """Data-free mirror of :func:`replay_analysis` (compiled path).
+
+    Yields the *exact* op stream a compiled replay of ``analysis``
+    produces -- same Marks, same Compute flops and labels, same Sends
+    (tag and byte count) and Recvs in the same order -- but moves no
+    array data: sends carry ``data=None`` with the frozen payload's
+    byte count, receives discard, and no store runs.  This is how the
+    multiprocessing backend derives its cost-model-stamped trace: the
+    floats are computed by real parallel workers, while the inner
+    simulator runs this shadow stream to produce a trace bit-identical
+    to what the simulator backend would have recorded.
+
+    Deliberately takes the analysis (never probing the plan cache):
+    cache accounting for a shadowed run is done once by the parent, not
+    once per shadow rank.
+    """
+    me = ctx.rank
+    tag = ctx.next_tag(analysis.loop.grid)
+    yield from announce_replay(ctx, analysis, reused)
+    yield from _shadow_step_plan(ctx, analysis.step_plan(me), overlap, tag)
+
+
+def _shadow_step_plan(ctx, plan, overlap: bool, tag):
+    """Data-free mirror of :func:`_replay_step_plan` -- ops only."""
+    me = ctx.rank
+    readers: list[tuple] = []
+    for wire_kind, array, sched, _buf in plan.reads:
+        if sched is None:
+            continue
+        itemsize = array.dtype.itemsize
+        for dst, src_idx in sched.sends:
+            yield Send(
+                dst, None, tag=(tag, wire_kind, me),
+                nbytes=_index_nbytes(src_idx, itemsize),
+            )
+        if sched.recvs:
+            readers.append((sched, wire_kind))
+
+    interior, interior_flops, remaining, remaining_flops = plan.charges(overlap)
+    if interior:
+        yield Compute(flops=interior_flops, label=plan.label_interior)
+
+    for sched, wire_kind in readers:
+        for src, _dst_idx in sched.recvs:
+            yield Recv(src=src, tag=(tag, wire_kind, src))
+
+    if remaining:
+        yield Compute(
+            flops=remaining_flops,
+            label=plan.label_boundary if interior else plan.label,
+        )
+
+    for store in plan.stores:
+        if store is None or store[0] != "transfer":
+            continue
+        _, array, sched, wire_kind = store
+        itemsize = array.dtype.itemsize
+        for dst, sel in sched.sends:
+            yield Send(
+                dst, None, tag=(tag, wire_kind, me),
+                nbytes=_index_nbytes(sel, itemsize),
+            )
+        for src, _dst_idx in sched.recvs:
+            yield Recv(src=src, tag=(tag, wire_kind, src))
+
+
+def _index_nbytes(idx, itemsize: int) -> int:
+    """Byte count of the payload a source-side index selection reads.
+
+    Matches ``read(idx).nbytes`` for the two frozen send-index forms: an
+    open-mesh ``np.ix_`` tuple (gather sends; payload size is the
+    product of the per-dimension sizes) and a flat selection array
+    (scatter sends into the value vector).
+    """
+    if isinstance(idx, tuple):
+        n = 1
+        for a in idx:
+            n *= int(np.asarray(a).size)
+    else:
+        n = int(np.asarray(idx).size)
+    return n * int(itemsize)
 
 
 def _reader(flat: np.ndarray | None):

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import itertools
 import operator
+import os
 import warnings
 from typing import Any, Callable
 
@@ -29,12 +30,26 @@ from repro.machine.simulator import Machine
 from repro.machine.trace import Trace
 from repro.util.errors import ReproDeprecationWarning, ValidationError
 
-#: Per-process launch identities for the *implicit default Session*; all
-#: ranks of one legacy ``run_spmd`` launch share one id, which scopes
-#: collective cache decisions to that run (per-grid tag counters restart
-#: every run, so tags alone recur).  Explicit Sessions own their own
-#: counter.
+#: Launch-identity counter behind :func:`next_run_id`; all ranks of one
+#: launch share one id, which scopes collective cache decisions to that
+#: run (per-grid tag counters restart every run, so tags alone recur).
 _RUN_IDS = itertools.count()
+
+
+def next_run_id() -> tuple[int, int]:
+    """Allocate a launch identity that is unique *across processes*.
+
+    Run ids scope :class:`~repro.compiler.commsched.ScheduleCache`
+    per-run decision logs and repartition staging tokens, so two
+    concurrent launches must never share one.  A bare process-global
+    counter satisfies that only within a single process: a worker
+    process forked by the multiprocessing backend inherits the parent's
+    counter state and would re-issue the same integers.  Keying the id
+    by ``(pid, counter)`` makes collisions impossible no matter which
+    process allocates -- ids are only ever used as opaque hashable
+    tokens, never ordered or arithmetic'd on.
+    """
+    return (os.getpid(), next(_RUN_IDS))
 
 
 class KaliCtx:

@@ -7,8 +7,15 @@ generators yielding :mod:`repro.machine.ops` objects; the
 clocks, routes messages under an alpha-beta-per-hop cost model over a
 configurable topology, detects deadlock, and records a full execution
 trace.
+
+The simulator is the *reference* implementation of the
+:class:`~repro.machine.backend.Backend` contract; the shared-memory
+:class:`~repro.machine.mpbackend.MultiprocessingBackend` (imported
+lazily -- not here -- to keep worker forks cheap) executes compiled
+loop programs on real processes with bit-identical results and traces.
 """
 
+from repro.machine.backend import Backend
 from repro.machine.costmodel import CostModel
 from repro.machine.topology import (
     Topology,
@@ -25,6 +32,7 @@ from repro.machine.trace import Trace
 from repro.machine import collectives
 
 __all__ = [
+    "Backend",
     "CostModel",
     "Topology",
     "Ring",

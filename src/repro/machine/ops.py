@@ -59,6 +59,31 @@ def payload_nbytes(data: Any) -> int:
     return 64  # conservative default for unknown objects
 
 
+def frozen_by_value(data: np.ndarray) -> bool:
+    """True when an array payload is by-value without a copy.
+
+    A payload is by-value when no live reference can mutate the memory
+    the receiver will read: the array is read-only and so is every
+    ndarray beneath it, down to a read-only *owner* of the buffer.  That
+    covers both a frozen owning array and a read-only slice view of one
+    (the frozen value vectors schedule replays hand out).  A read-only
+    view of *writable* storage (``np.broadcast_to`` of a live buffer,
+    say) fails the walk -- the sender can still mutate it through the
+    base -- as does any base that is not an ndarray (memoryview-backed
+    arrays, arbitrary buffer exports), conservatively.
+    """
+    a = data
+    while True:
+        if a.flags.writeable:
+            return False
+        base = a.base
+        if base is None:
+            return a.flags.owndata
+        if not isinstance(base, np.ndarray):
+            return False
+        a = base
+
+
 @dataclass(frozen=True)
 class Compute:
     """Charge local computation time.

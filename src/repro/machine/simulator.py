@@ -29,8 +29,18 @@ from typing import Any, Callable, Generator, Hashable, Iterable
 
 import numpy as np
 
+from repro.machine.backend import Backend
 from repro.machine.costmodel import CostModel
-from repro.machine.ops import ANY, Barrier, Compute, Mark, Now, Recv, Send
+from repro.machine.ops import (
+    ANY,
+    Barrier,
+    Compute,
+    Mark,
+    Now,
+    Recv,
+    Send,
+    frozen_by_value,
+)
 from repro.machine.topology import Complete, Topology
 from repro.machine.trace import ComputeRecord, MarkRecord, MessageRecord, Trace
 from repro.util.errors import DeadlockError, MachineError
@@ -45,15 +55,19 @@ def _snapshot(data: Any) -> Any:
     (:func:`repro.compiler.commsched.freeze_payload` sets
     ``writeable=False`` on payloads the schedule executor already built
     fresh) are by-value already and ship without a copy -- the hot
-    replay path never pays for a second snapshot.  The skip requires
-    the array to *own* its memory: a read-only view of live storage
-    (``np.broadcast_to`` of a mutable buffer, say) is not by-value --
-    the sender can still mutate it through the base -- so it is copied
-    like any other mutable payload.  Ad-hoc sends of live buffers keep
-    their exact historical semantics.
+    replay path never pays for a second snapshot.  The skip accepts a
+    frozen owning array *or* a read-only view whose whole base chain is
+    frozen down to a read-only owner
+    (:func:`repro.machine.ops.frozen_by_value`): a read-only slice of a
+    frozen value vector is just as immutable as the vector itself.  A
+    read-only view of live (writable) storage -- ``np.broadcast_to`` of
+    a mutable buffer, say -- is not by-value, since the sender can
+    still mutate it through the base, so it is copied like any other
+    mutable payload.  Ad-hoc sends of live buffers keep their exact
+    historical semantics.
     """
     if isinstance(data, np.ndarray):
-        if not data.flags.writeable and data.base is None and data.flags.owndata:
+        if frozen_by_value(data):
             return data
         return data.copy()
     if isinstance(data, list):
@@ -80,8 +94,12 @@ class _Proc:
         self.mailbox = {}
 
 
-class Machine:
+class Machine(Backend):
     """A simulated distributed-memory machine.
+
+    This is the reference :class:`~repro.machine.backend.Backend`: its
+    event-driven execution defines the semantics (and the cost-model
+    timings) every other backend must reproduce bit-for-bit.
 
     Parameters
     ----------
@@ -122,11 +140,16 @@ class Machine:
         self,
         programs: dict[int, NodeProgram] | Callable[[int], NodeProgram],
         ranks: Iterable[int] | None = None,
+        trace: Trace | None = None,
     ) -> Trace:
         """Run node programs to completion and return the trace.
 
         ``programs`` is either a dict mapping rank -> generator, or a
         factory called with each rank in ``ranks`` (default: all ranks).
+        ``trace`` lets a caller supply the (empty) Trace to fill, so the
+        records are observable while the run is still in progress --
+        records are immutable once published there (consume times are
+        stamped by *rebuilding* the record, never by mutating it).
         """
         if callable(programs) and not isinstance(programs, dict):
             use_ranks = list(ranks) if ranks is not None else list(range(self.n_procs))
@@ -137,7 +160,8 @@ class Machine:
             self.topology.check_rank(r)
 
         procs = {r: _Proc(r, g) for r, g in progs.items()}
-        trace = Trace(n_procs=self.n_procs)
+        if trace is None:
+            trace = Trace(n_procs=self.n_procs)
         seq = itertools.count()
         # event heap entries: (time, seqno, kind, payload)
         #   kind "resume": payload = (rank, value_to_send)
@@ -281,11 +305,22 @@ class Machine:
                 )
 
         def _stamp_recv(rec_idx: int, t_recv: float) -> None:
-            # the simulator owns the record and no hash has been taken
-            # yet, so stamping the consume time in place (rather than
-            # rebuilding the frozen dataclass) is safe -- and this runs
-            # once per message on the hot replay path
-            object.__setattr__(trace.messages[rec_idx], "t_recv", t_recv)
+            # message records are frozen dataclasses and may already
+            # have been hashed, pickled, or merged by an observer (the
+            # multiprocessing backend shares traces across processes),
+            # so the consume time is stamped by *rebuilding* the record
+            # -- published records are never mutated in place
+            old = trace.messages[rec_idx]
+            trace.messages[rec_idx] = MessageRecord(
+                src=old.src,
+                dst=old.dst,
+                tag=old.tag,
+                nbytes=old.nbytes,
+                hops=old.hops,
+                t_send=old.t_send,
+                t_arrive=old.t_arrive,
+                t_recv=t_recv,
+            )
 
         while heap:
             _time, _s, kind, payload = heapq.heappop(heap)
@@ -321,11 +356,20 @@ class Machine:
             r: p.blocked_on for r, p in procs.items() if not p.done and p.blocked_on
         }
         stuck_barrier = {r: p.in_barrier for r, p in procs.items() if p.in_barrier}
+        # each stuck rank's undelivered mailbox keys: the near-miss
+        # messages that arrived but matched nothing, which is usually
+        # the whole diagnosis of a mismatched send/recv pair
+        pending = {
+            r: sorted((k for k, q in p.mailbox.items() if q), key=repr)
+            for r, p in procs.items()
+            if not p.done
+        }
         if blocked:
-            raise DeadlockError(blocked)
+            raise DeadlockError(blocked, pending=pending)
         if stuck_barrier:
             raise DeadlockError(
-                {r: ("barrier", key) for r, key in stuck_barrier.items()}
+                {r: ("barrier", key) for r, key in stuck_barrier.items()},
+                pending=pending,
             )
         unfinished = [r for r, p in procs.items() if not p.done]
         if unfinished:  # pragma: no cover - defensive

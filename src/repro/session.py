@@ -60,14 +60,26 @@ import numpy as np
 from repro.compiler.commsched import ScheduleCache
 from repro.compiler.estimate import LoopEstimate, estimate_doall
 from repro.compiler.schedule import PlanCache
-from repro.lang.context import _RUN_IDS, KaliCtx
+from repro.lang.context import KaliCtx, next_run_id
 from repro.lang.doall import Doall
 from repro.lang.kf1 import KF1Program, parse_program
 from repro.lang.procs import ProcessorGrid
+from repro.machine.backend import Backend
 from repro.machine.costmodel import CostModel
 from repro.machine.simulator import Machine
 from repro.machine.trace import Trace
 from repro.util.errors import ValidationError
+
+
+def _check_backend(backend) -> None:
+    if backend is None or isinstance(backend, Backend):
+        return
+    if backend in ("simulator", "multiprocessing"):
+        return
+    raise ValidationError(
+        f"unknown backend {backend!r}: expected 'simulator', "
+        "'multiprocessing', or a Backend instance"
+    )
 
 
 class Session:
@@ -83,6 +95,14 @@ class Session:
     cost:
         Cost model used by ``Program.estimate`` when none is passed;
         defaults to the machine's.
+    backend:
+        Default execution backend for launches: ``None``/``"simulator"``
+        runs on the machine's event-driven simulator (reference
+        semantics), ``"multiprocessing"`` executes compiled loop
+        programs on real shared-memory worker processes (results,
+        accounting, and cost-model traces bit-identical to the
+        simulator), and a :class:`~repro.machine.backend.Backend`
+        instance is used as-is.  Each run may override it.
 
     A Session owns its :class:`~repro.compiler.commsched.ScheduleCache`
     (wire transfer schedules: gathers, repartitions), its
@@ -103,6 +123,7 @@ class Session:
         grid: ProcessorGrid | None = None,
         cost: CostModel | None = None,
         *,
+        backend: "str | Backend | None" = None,
         compiled: bool = True,
         marks: str = "full",
         max_schedule_entries: int = 256,
@@ -113,9 +134,15 @@ class Session:
             raise ValidationError("Session needs max_history >= 1")
         if marks not in ("full", "cheap"):
             raise ValidationError(f"marks must be 'full' or 'cheap', got {marks!r}")
+        _check_backend(backend)
         self.machine = machine
         self.grid = grid
         self.cost = cost if cost is not None else getattr(machine, "cost", None)
+        #: default execution backend (see the class docstring); the
+        #: ``"multiprocessing"`` string form lazily builds (and caches)
+        #: one MultiprocessingBackend around the resolved machine
+        self.backend = backend
+        self._mp_backend = None
         #: default doall executor mode for launches from this Session:
         #: True replays compiled StepPlans (the fast path), False runs
         #: the interpreted reference executor.  Each run (and each
@@ -155,12 +182,38 @@ class Session:
             )
         return machine, grid
 
+    def _resolve_backend(self, backend, machine) -> Backend:
+        """The Backend a launch executes on (the machine itself, by default).
+
+        ``backend`` overrides the Session default; the
+        ``"multiprocessing"`` string form wraps ``machine`` in one
+        cached :class:`~repro.machine.mpbackend.MultiprocessingBackend`
+        per Session (so its worker pool persists across runs).
+        """
+        if backend is None:
+            backend = self.backend
+        _check_backend(backend)
+        if backend is None or backend == "simulator":
+            return machine
+        if backend == "multiprocessing":
+            cached = self._mp_backend
+            if cached is None or cached.machine is not machine:
+                from repro.machine.mpbackend import MultiprocessingBackend
+
+                if cached is not None:
+                    cached.close()
+                cached = MultiprocessingBackend(machine)
+                self._mp_backend = cached
+            return cached
+        return backend
+
     def run(
         self,
         routine: Callable,
         *args: Any,
         machine: Machine | None = None,
         grid: ProcessorGrid | None = None,
+        backend: "str | Backend | None" = None,
         compiled: bool | None = None,
         marks: str | None = None,
         **kwargs: Any,
@@ -179,23 +232,31 @@ class Session:
         which forwards kwargs verbatim).
         """
         return self._launch_routine(
-            machine, grid, routine, args, kwargs, compiled=compiled, marks=marks
+            machine, grid, routine, args, kwargs,
+            compiled=compiled, marks=marks, backend=backend,
         )
 
     def _launch_routine(
         self, machine, grid, routine, args, kwargs,
         compiled: bool | None = None, marks: str | None = None,
+        backend=None,
     ) -> Trace:
         """Launch core with no keyword capture: ``kwargs`` go to the
         routine untouched (the run_spmd shim relies on this to keep the
         legacy signature, where ``machine``/``grid`` were positional)."""
+        if machine is None and self.machine is None:
+            # a Backend instance can stand in for the machine it wraps
+            resolved = backend if backend is not None else self.backend
+            machine = getattr(resolved, "machine", None)
         machine, grid = self._resolve(machine, grid)
-        # Launch identities are process-unique (not per-session): a run
-        # id scopes cache decisions and staging tokens, and two Sessions
-        # sharing one explicit ScheduleCache must never reuse an id --
-        # per-session counters restarting at 0 would collide.  Ids never
-        # enter traces, so this does not affect determinism.
-        run_id = next(_RUN_IDS)
+        runner = self._resolve_backend(backend, machine)
+        # Launch identities are unique across sessions *and* processes
+        # (keyed by pid + counter): a run id scopes cache decisions and
+        # staging tokens, and two Sessions sharing one explicit
+        # ScheduleCache -- or a forked worker inheriting the counter --
+        # must never reuse an id.  Ids never enter traces, so this does
+        # not affect determinism.
+        run_id = next_run_id()
         ctxs = {
             rank: KaliCtx(
                 rank, grid, run_id=run_id, session=self,
@@ -206,7 +267,7 @@ class Session:
         programs = {
             rank: routine(ctxs[rank], *args, **kwargs) for rank in grid.linear
         }
-        trace = machine.run(programs)
+        trace = runner.run(programs)
         self._fold_mark_counts(trace, ctxs.values())
         return self._record(trace)
 
@@ -335,6 +396,7 @@ class Program:
         compiled: bool | None = None,
         marks: str | None = None,
         machine: Machine | None = None,
+        backend: "str | Backend | None" = None,
         bindings: dict[str, np.ndarray] | None = None,
         **kwargs: Any,
     ) -> Trace:
@@ -358,6 +420,15 @@ class Program:
         the two.  ``marks="cheap"`` additionally aggregates steady-state
         schedule marks into ``Trace.mark_counts`` instead of per-op
         records (default "full" is unchanged behavior).
+
+        ``backend`` (default from the Session) picks the execution
+        backend.  With ``"multiprocessing"`` (or a
+        :class:`~repro.machine.mpbackend.MultiprocessingBackend`
+        instance) the compiled loop path executes on real shared-memory
+        worker processes -- results, schedule accounting, and the
+        cost-model-stamped trace stay bit-identical to the simulator;
+        parsub routines and ``compiled=False`` runs fall back to the
+        backend's inner reference machine.
         """
         if iters < 1:
             raise ValidationError(f"iters must be >= 1, got {iters}")
@@ -380,7 +451,7 @@ class Program:
 
             return self.session.run(
                 _program, machine=machine, grid=self.grid,
-                compiled=compiled, marks=marks,
+                backend=backend, compiled=compiled, marks=marks,
             )
 
         if args:
@@ -403,6 +474,24 @@ class Program:
                 )
             self.arrays[name].from_global(np.asarray(value))
         loops, niters = self.loops, iters
+
+        if compiled and loops:
+            # Backends that lower frozen loop replays to real parallel
+            # execution take the whole run here; the generic path below
+            # stays generator-driven on the (possibly inner) simulator.
+            sess = self.session
+            resolved = backend if backend is not None else sess.backend
+            mach = machine if machine is not None else sess.machine
+            if mach is None:
+                mach = getattr(resolved, "machine", None)
+            mach, grid = sess._resolve(mach, self.grid)
+            runner = sess._resolve_backend(backend, mach)
+            if hasattr(runner, "run_loops"):
+                trace = runner.run_loops(
+                    sess, loops, grid,
+                    iters=niters, overlap=overlap, marks=marks,
+                )
+                return sess._record(trace)
 
         if compiled:
             # The steady-state fast path: resolve each loop's analysis
@@ -438,7 +527,7 @@ class Program:
 
         return self.session.run(
             _program, machine=machine, grid=self.grid,
-            compiled=compiled, marks=marks,
+            backend=backend, compiled=compiled, marks=marks,
         )
 
     # -- static analysis ---------------------------------------------------

@@ -15,15 +15,32 @@ class DeadlockError(MachineError):
     """All live processors are blocked and no messages are in flight.
 
     Carries a per-processor diagnosis of what each blocked processor was
-    waiting for, so a user can see the mismatched send/recv immediately.
+    waiting for -- and, when the machine provides it, the ``(src, tag)``
+    keys of messages sitting *undelivered* in each stuck rank's mailbox
+    (``pending``).  A hang is usually a near-miss between the two lists
+    (a tag or source mismatch), so the exception alone diagnoses
+    cross-backend protocol drift without re-running under a debugger.
     """
 
-    def __init__(self, blocked: dict):
+    def __init__(self, blocked: dict, pending: dict | None = None):
         self.blocked = dict(blocked)
+        #: rank -> list of (src, tag) mailbox keys that arrived but
+        #: matched no receive; empty dict when the machine did not
+        #: report mailboxes (e.g. hand-raised errors).
+        self.pending = {r: list(keys) for r, keys in (pending or {}).items()}
         lines = ["deadlock: all live processors blocked on receives"]
         for rank in sorted(self.blocked):
             src, tag = self.blocked[rank]
             lines.append(f"  proc {rank}: waiting on recv(src={src!r}, tag={tag!r})")
+            if pending is not None:
+                keys = self.pending.get(rank)
+                if keys:
+                    lines.append(
+                        "    undelivered mailbox: "
+                        + ", ".join(f"(src={s!r}, tag={t!r})" for s, t in keys)
+                    )
+                else:
+                    lines.append("    undelivered mailbox: empty")
         super().__init__("\n".join(lines))
 
 

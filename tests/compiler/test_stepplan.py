@@ -34,7 +34,7 @@ def trace_sig(trace):
     )
 
 
-def stencil_program(n, p, dist=("block", "block"), compiled=True):
+def stencil_program(n, p, dist=("block", "block"), compiled=True, backend=None):
     grid = ProcessorGrid((p, p))
     X = DistArray((n, n), grid, dist=dist, name="X")
     F = DistArray((n, n), grid, dist=dist, name="F")
@@ -46,8 +46,22 @@ def stencil_program(n, p, dist=("block", "block"), compiled=True):
     )]
     loop = Doall(vars=(i, j), ranges=[(1, n - 2), (1, n - 2)],
                  on=Owner(X, (i, j)), body=body, grid=grid)
-    sess = Session(Machine(n_procs=p * p), grid, compiled=compiled)
+    sess = Session(Machine(n_procs=p * p), grid, compiled=compiled,
+                   backend=backend)
     return repro.compile(loop, session=sess), X
+
+
+def close_backend(prog):
+    """Release a session's multiprocessing worker pool, if it spawned one."""
+    if prog.session._mp_backend is not None:
+        prog.session._mp_backend.close()
+
+
+# The bit-identity contract holds across *executors* (compiled vs
+# interpreted) and across *backends* (event-driven simulator vs real
+# shared-memory worker processes): every parametrized case below is
+# compared against the interpreted simulator reference.
+BACKENDS = [None, "multiprocessing"]
 
 
 # ----------------------------------------------------------------------
@@ -56,18 +70,22 @@ def stencil_program(n, p, dist=("block", "block"), compiled=True):
 
 
 @pytest.mark.parametrize("overlap", [False, True])
-def test_stencil_bit_identical(overlap):
-    pa, Xa = stencil_program(20, 2, compiled=True)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_stencil_bit_identical(overlap, backend):
+    pa, Xa = stencil_program(20, 2, compiled=True, backend=backend)
     pb, Xb = stencil_program(20, 2, compiled=False)
     ta = pa.run(iters=4, overlap=overlap)
     tb = pb.run(iters=4, overlap=overlap)
+    close_backend(pa)
     np.testing.assert_array_equal(Xa.to_global(), Xb.to_global())
     assert trace_sig(ta) == trace_sig(tb)
 
 
-def test_remote_write_bit_identical():
-    """Mismatched layouts force scatter schedules; both executors agree."""
-    def run(compiled):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_remote_write_bit_identical(backend):
+    """Mismatched layouts force scatter schedules; every executor and
+    backend must agree with the interpreted simulator reference."""
+    def run(compiled, backend=None):
         g = ProcessorGrid((4,))
         A = DistArray((17,), g, dist=("block",), name="A")
         B = DistArray((17,), g, dist=("cyclic",), name="B")
@@ -75,12 +93,14 @@ def test_remote_write_bit_identical():
         (i,) = loopvars("i")
         loop = Doall(vars=(i,), ranges=[(1, 15)], on=Owner(A, (i,)),
                      body=[Assign(B[i], A[i - 1] + 2.0 * A[i + 1])], grid=g)
-        sess = Session(Machine(n_procs=4), g, compiled=compiled)
+        sess = Session(Machine(n_procs=4), g, compiled=compiled,
+                       backend=backend)
         prog = repro.compile(loop, session=sess)
         trace = prog.run(iters=3)
+        close_backend(prog)
         return B.to_global(), trace
 
-    xa, ta = run(True)
+    xa, ta = run(True, backend)
     xb, tb = run(False)
     np.testing.assert_array_equal(xa, xb)
     assert trace_sig(ta) == trace_sig(tb)
@@ -158,10 +178,13 @@ def test_step_plans_dropped_with_analysis():
     assert not [k for k in plans._entries if k[0] == "doall"]
 
 
-def test_redistribute_between_runs_regression():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_redistribute_between_runs_regression(backend):
     """Layout flips between runs: the compiled path must rebuild, never
-    write through a closure captured against the old blocks."""
-    def run(compiled):
+    write through a closure captured against the old blocks -- and the
+    multiprocessing backend must respawn its worker pool (epoch-keyed),
+    never sweep against stale shared-memory adoptions."""
+    def run(compiled, backend=None):
         g = ProcessorGrid((2,))
         u = DistArray((13,), g, dist=("block",), name="u")
         v = DistArray((13,), g, dist=("block",), name="v")
@@ -169,7 +192,8 @@ def test_redistribute_between_runs_regression():
         (i,) = loopvars("i")
         loop = Doall(vars=(i,), ranges=[(1, 11)], on=Owner(v, (i,)),
                      body=[Assign(v[i], 0.5 * (u[i - 1] + u[i + 1]))], grid=g)
-        sess = Session(Machine(n_procs=2), g, compiled=compiled)
+        sess = Session(Machine(n_procs=2), g, compiled=compiled,
+                       backend=backend)
         prog = repro.compile(loop, session=sess)
         out = []
         prog.run(iters=2)
@@ -182,14 +206,18 @@ def test_redistribute_between_runs_regression():
         v.redistribute(("block",))
         prog.run(iters=2)
         out.append(v.to_global().copy())
+        close_backend(prog)
         return out
 
-    for a, b in zip(run(True), run(False)):
+    for a, b in zip(run(True, backend), run(False)):
         np.testing.assert_array_equal(a, b)
 
 
-def test_redistribute_mid_run_bit_identical():
-    def run(compiled):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_redistribute_mid_run_bit_identical(backend):
+    """Parsub programs (opaque generators, mid-run repartitions) run on
+    the backend's inner reference machine; the trace must not care."""
+    def run(compiled, backend=None):
         g = ProcessorGrid((2,))
         u = DistArray((12,), g, dist=("block",), name="u")
         v = DistArray((12,), g, dist=("block",), name="v")
@@ -197,7 +225,8 @@ def test_redistribute_mid_run_bit_identical():
         (i,) = loopvars("i")
         loop = Doall(vars=(i,), ranges=[(1, 10)], on=Owner(v, (i,)),
                      body=[Assign(v[i], 0.5 * (u[i - 1] + u[i + 1]))], grid=g)
-        sess = Session(Machine(n_procs=2), g, compiled=compiled)
+        sess = Session(Machine(n_procs=2), g, compiled=compiled,
+                       backend=backend)
 
         def program(ctx):
             yield from ctx.doall(loop)
@@ -207,9 +236,11 @@ def test_redistribute_mid_run_bit_identical():
             yield from ctx.doall(loop)
 
         trace = sess.run(program)
+        if sess._mp_backend is not None:
+            sess._mp_backend.close()
         return v.to_global(), trace
 
-    xa, ta = run(True)
+    xa, ta = run(True, backend)
     xb, tb = run(False)
     np.testing.assert_array_equal(xa, xb)
     assert trace_sig(ta) == trace_sig(tb)

@@ -86,7 +86,15 @@ from repro.compiler import (
     execute_gather,
     inspector_gather,
 )
-from repro.session import Program, Session, compile, default_session
+from repro.session import (
+    BatchResult,
+    Program,
+    Session,
+    compile,
+    default_session,
+    run_batch,
+)
+from repro.serve import Server, SessionPool
 from repro.util.errors import (
     CompileError,
     DeadlockError,
@@ -103,6 +111,8 @@ __all__ = [
     "__version__",
     # sessions and programs (the two-phase compile-and-run API)
     "Session", "Program", "compile", "default_session",
+    # serving (pooled sessions, threaded front end, batched ensembles)
+    "SessionPool", "Server", "run_batch", "BatchResult",
     # machine
     "Machine", "Backend", "MultiprocessingBackend", "CostModel", "Trace",
     "Complete", "Line", "Ring", "Mesh2D", "Torus2D", "Hypercube",

@@ -34,6 +34,8 @@ splits its Compute op on this count; see ``LoopAnalysis.interior_count``.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.compiler import access as acc
@@ -160,7 +162,14 @@ class LoopAnalysis:
         #: (the cache entry is the only owner), so layout invalidation
         #: (``drop_plans_for_array``) retires compiled closures exactly
         #: when it retires the schedules they were built against.
-        self.step_plans: dict[int, "StepPlan"] = {}
+        #: Keyed by rank for single-run plans and ``(rank, nbatch)`` for
+        #: batched ones (``Program.run_batch``).
+        self.step_plans: dict[object, "StepPlan"] = {}
+        # guards the two lazy memoizations (step plans, interior
+        # counts): an analysis may be shared across Sessions through a
+        # shared PlanCache, and everything else on it is immutable
+        # after construction (the contract that makes sharing sound)
+        self._memo_lock = threading.Lock()
 
         # ---- read analysis ------------------------------------------------
         read_map = acc.arrays_read(loop)
@@ -281,7 +290,7 @@ class LoopAnalysis:
 
     # ------------------------------------------------------------------
 
-    def step_plan(self, rank: int) -> "StepPlan":
+    def step_plan(self, rank: int, nbatch: int | None = None) -> "StepPlan":
         """This rank's compiled replay recipe (built once, memoized).
 
         The plan freezes everything the interpreted executor re-derives
@@ -291,10 +300,21 @@ class LoopAnalysis:
         the analysis, a plan's lifetime is exactly the analysis's cache
         entry lifetime: redistribution keys it away and
         ``drop_plans_for_array`` purges it eagerly.
+
+        ``nbatch`` asks for the *batched* variant of the recipe: the
+        same schedules and closures with a leading batch axis of that
+        extent threaded through every workspace, fetch, and store (see
+        ``Program.run_batch``).  Batched plans memoize under
+        ``(rank, nbatch)`` next to the single-run plans.
         """
-        plan = self.step_plans.get(rank)
+        key = rank if nbatch is None else (rank, nbatch)
+        plan = self.step_plans.get(key)
         if plan is None:
-            plan = self.step_plans[rank] = StepPlan(self, rank)
+            with self._memo_lock:
+                plan = self.step_plans.get(key)
+                if plan is None:
+                    plan = StepPlan(self, rank, nbatch=nbatch)
+                    self.step_plans[key] = plan
         return plan
 
     def interior_count(self, rank: int) -> int:
@@ -307,8 +327,10 @@ class LoopAnalysis:
         """
         if rank in self._interior_counts:
             return self._interior_counts[rank]
-        self._interior_counts[rank] = n = self._derive_interior_count(rank)
-        return n
+        with self._memo_lock:
+            if rank not in self._interior_counts:
+                self._interior_counts[rank] = self._derive_interior_count(rank)
+        return self._interior_counts[rank]
 
     def _derive_interior_count(self, rank: int) -> int:
         iters = self.iters[rank]
@@ -374,10 +396,24 @@ class StepPlan:
     The executor in :mod:`repro.compiler.schedule` drives the plan; the
     replayed op stream (messages, marks, computes) is bit-identical to
     the interpreted path's, which the equivalence tests assert.
+
+    **Batched plans.**  Built with ``nbatch=B``, the plan is the recipe
+    for executing the loop over ``B`` independent parameter bindings at
+    once (``Program.run_batch``): every workspace gains a leading batch
+    axis, every frozen fetch and store selection is prefixed with
+    ``slice(None)`` on that axis, and the rhs closures broadcast over it
+    for free (:func:`~repro.lang.expr.compile_expr` closures are plain
+    numpy ufunc chains).  The *schedules* are shared untouched with the
+    single-run plan -- same sends, same receives, same tags -- so the
+    wire message **count** is identical to one single-binding sweep;
+    only the payload slots widen by the batch factor.  Batched store
+    recipes address the batched shadow blocks the batch driver owns
+    (``blocks[array.uid]``), never the live single-member arrays.
     """
 
     __slots__ = (
         "rank",
+        "nbatch",
         "analysis",
         "shape",
         "n_points",
@@ -391,19 +427,27 @@ class StepPlan:
         "_split",
     )
 
-    def __init__(self, analysis: LoopAnalysis, rank: int):
+    def __init__(self, analysis: LoopAnalysis, rank: int,
+                 nbatch: int | None = None):
         self.rank = rank
+        self.nbatch = nbatch
         self.analysis = analysis
         iters = analysis.iters[rank]
         self.shape = iters.shape()
         self.n_points = iters.count()
-        self.flops = self.n_points * analysis.flops_per_point()
+        scale = 1 if nbatch is None else nbatch
+        self.flops = self.n_points * analysis.flops_per_point() * scale
         self.label = f"doall[{analysis.var_label}]"
         self.label_interior = f"{self.label}/interior"
         self.label_boundary = f"{self.label}/boundary"
         # overlap split (interior/boundary flop charges), derived lazily
         # like LoopAnalysis.interior_count -- serialized replays never ask
         self._split: tuple | None = None
+        # the batch axis: batched buffers get a leading extent-B axis and
+        # batched selections a slice(None) prefix; single-run plans get
+        # neither, keeping their recipes byte-identical to before
+        lead_shape = () if nbatch is None else (nbatch,)
+        lead_sel = () if nbatch is None else (slice(None),)
 
         # ---- read side: persistent workspaces + send/recv recipes ------
         #: (wire kind, array, gather schedule | None, workspace | None)
@@ -415,7 +459,10 @@ class StepPlan:
             array = plan.array
             buf = None
             if plan.needed is not None:
-                buf = np.empty([n.size for n in plan.needed], dtype=array.dtype)
+                buf = np.empty(
+                    lead_shape + tuple(n.size for n in plan.needed),
+                    dtype=array.dtype,
+                )
                 bufs[id(array)] = buf
                 needed_of[id(array)] = plan.needed
             self.reads.append((f"gh{arr_idx}", array, plan.transfer, buf))
@@ -429,10 +476,13 @@ class StepPlan:
                 for n, e in zip(needed, ref.idx)
             )
             box = freeze_positions(pos)
-            sel = pos if box is None else box
+            # batch prefix: with the advanced indices consecutive after
+            # the leading slice, numpy keeps their broadcast dims in
+            # place, so the fetch shape is exactly (B,) + single shape
+            sel = lead_sel + (pos if box is None else box)
             return lambda: buf[sel]
 
-        shape = self.shape
+        shape = lead_shape + self.shape
         #: per-statement closures producing the broadcast value box
         self.evals: list = []
         for sa in analysis.stmts:
@@ -459,8 +509,15 @@ class StepPlan:
                 elif wplan.local_box is not None:
                     locs, perm, boxshape = wplan.local_box
                     box = freeze_positions(locs)
+                    if nbatch is not None:
+                        # pre-prefix the recipe so the batch driver's
+                        # store is the same one-liner as the single one:
+                        # transpose order shifts past the batch axis
+                        perm = (0,) + tuple(ax + 1 for ax in perm)
+                        boxshape = (nbatch,) + boxshape
                     self.stores.append(
-                        ("box", sa.lhs_array, locs if box is None else box,
+                        ("box", sa.lhs_array,
+                         lead_sel + (locs if box is None else box),
                          perm, boxshape)
                     )
                 else:
@@ -468,7 +525,8 @@ class StepPlan:
                     # flat coordinates the interpreted fallback
                     # (_flat_local_store) re-derives every sweep
                     self.stores.append(
-                        ("flat", sa.lhs_array, frozen_flat_store(sa, iters))
+                        ("flat", sa.lhs_array,
+                         lead_sel + frozen_flat_store(sa, iters))
                     )
             else:
                 sched = wplan.transfer
@@ -480,14 +538,21 @@ class StepPlan:
     def charges(self, overlap: bool) -> tuple:
         """(interior points, interior flops, boundary points, boundary
         flops) for the requested overlap mode; the split is derived
-        lazily and memoized (serialized replays never pay for it)."""
+        lazily and memoized (serialized replays never pay for it).  A
+        batched plan scales both point counts and flops by its batch
+        extent -- the ensemble honestly does B members' work per
+        sweep."""
+        scale = 1 if self.nbatch is None else self.nbatch
         if not overlap:
-            return 0, 0.0, self.n_points, self.flops
+            return 0, 0.0, self.n_points * scale, self.flops
         if self._split is None:
-            fpp = self.analysis.flops_per_point()
+            fpp = self.analysis.flops_per_point() * scale
             interior = self.analysis.interior_count(self.rank)
             remaining = self.n_points - interior
-            self._split = (interior, interior * fpp, remaining, remaining * fpp)
+            self._split = (
+                interior * scale, interior * fpp,
+                remaining * scale, remaining * fpp,
+            )
         return self._split
 
 

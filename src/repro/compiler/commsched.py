@@ -67,6 +67,7 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -168,6 +169,16 @@ class TransferSchedule:
     statement with remote writes (``WritePlan.transfer``), so every byte
     a doall moves -- reads, writes, and redistributions alike -- replays
     through the same object and executor.
+
+    **Immutability contract.**  A schedule is mutable only while its
+    builder assembles it; once published (stored in a
+    :class:`ScheduleCache`, frozen onto a plan, or returned from a
+    builder) every field is read-only forever.  Replay never writes to
+    the schedule -- it reads the frozen index arrays and writes only
+    caller-owned buffers -- which is exactly what lets one schedule
+    object be replayed concurrently from many serving threads
+    (:mod:`repro.serve`) with no per-schedule lock.  Code that wants a
+    different schedule must build a new one, never edit a published one.
 
     >>> s = TransferSchedule("scatter", rank=1)
     >>> s.sends.append((0, [0, 1]))       # send value-vector picks 0,1 to rank 0
@@ -683,6 +694,22 @@ class ScheduleCache:
     key on the layout-spec pair instead and survive redistribution by
     design (that is their reuse story).
 
+    The cache is also **thread-safe**, so one instance can be shared by
+    many Sessions serving concurrent runs (:mod:`repro.serve`).  All
+    bookkeeping -- probes, verdicts, counters, LRU touches, stores,
+    evictions -- happens under one re-entrant lock, and the lock is
+    never held across a ``yield``: replay and build run unlocked, which
+    is sound because a stored :class:`TransferSchedule` is *immutable*
+    -- its index arrays, peer lists, and local move are frozen at build
+    time and never mutated afterwards, so any number of threads may
+    replay one schedule object concurrently (each replay reads the
+    schedule and writes only caller-owned buffers).  Do not mutate a
+    schedule after :meth:`store`; rebuild instead.  Per-call verdicts
+    are scoped by run id (concurrent runs interleave their collective
+    calls, so the single "current run" slot of the single-threaded
+    design would thrash); finished or aborted runs' verdicts are pruned
+    LRU-style once :data:`MAX_RUN_SCOPES` distinct runs have been seen.
+
     >>> cache = ScheduleCache(max_entries=4)
     >>> cache.stats()
     {'entries': 0, 'hits': 0, 'misses': 0, 'evictions': 0}
@@ -694,25 +721,46 @@ class ScheduleCache:
     repro.util.errors.ValidationError: ScheduleCache needs max_entries >= 1
     """
 
+    #: distinct run ids whose call verdicts are kept live; beyond this
+    #: the least-recently-seen run's verdicts are pruned (an aborted
+    #: run's leftovers must not accumulate forever, and a finished
+    #: run's tags can never be probed again)
+    MAX_RUN_SCOPES = 64
+
+    #: evicted-group tombstones kept live; a tombstone only matters
+    #: while its collective's build is still in flight, so an LRU bound
+    #: far above any realistic rank count is safe
+    MAX_TOMBSTONES = 4096
+
     def __init__(self, max_entries: int = 256):
         if max_entries <= 0:
             raise ValidationError("ScheduleCache needs max_entries >= 1")
         self.max_entries = max_entries
+        # guards every mutable field below; re-entrant so locked paths
+        # may call locked helpers (store -> eviction).  Never held
+        # across a yield: builds and replays run unlocked against
+        # immutable schedules.
+        self._lock = threading.RLock()
         self._entries: dict[tuple, TransferSchedule] = {}
         # group id -> keys of that collective build, LRU-ordered by the
         # group's most recent touch (hits refresh the whole group)
         self._groups: OrderedDict[tuple, set] = OrderedDict()
-        # open per-call verdicts, keyed by (array uid, epoch, call tag);
-        # scoped to one run (per-grid tag counters restart every run, so
-        # a verdict left behind by an aborted run must not be matched by
-        # the next run's identical tags)
+        # open per-call verdicts, keyed by (run id, (array uid, epoch,
+        # call tag)): per-grid tag counters restart every run, so a
+        # verdict left behind by an aborted run must not be matched by
+        # a later run's identical tags -- and concurrent runs must each
+        # see their own verdicts, not trample a shared slot
         self._decisions: dict[tuple, _CallDecision] = {}
-        self._decisions_run: int | None = None
+        # run ids seen by _decide, LRU-ordered; pruning one drops its
+        # leftover verdicts (see MAX_RUN_SCOPES)
+        self._run_scopes: OrderedDict = OrderedDict()
         # groups evicted while their build might still be in flight: a
         # straggler rank's late store must not re-create the group with
         # a subset of its ranks (a later identical call would then split
-        # into hit-on-some / miss-on-others).  Cleared on run change.
-        self._tombstones: set = set()
+        # into hit-on-some / miss-on-others).  LRU-bounded; group ids
+        # embed run id + tag, so stale tombstones can never match a new
+        # build.
+        self._tombstones: OrderedDict = OrderedDict()
         # array uid -> comm epoch this cache last purged stale entries
         # for (repartition runs the purge once per collective)
         self._purged_epochs: dict[int, int] = {}
@@ -731,25 +779,31 @@ class ScheduleCache:
         d[outcome] += 1
 
     def store(self, sched: TransferSchedule) -> None:
-        if sched.group in self._tombstones:
-            return  # group already evicted; a partial re-insert diverges
-        old = self._entries.get(sched.key)
-        if old is not None:
-            self._discard_from_group(old)
-        self._entries[sched.key] = sched
-        self._groups.setdefault(sched.group, set()).add(sched.key)
-        self._groups.move_to_end(sched.group)
-        while len(self._entries) > self.max_entries:
-            # never evict the collective currently being stored: its
-            # remaining ranks have yet to add their entries, and a
-            # half-present group is exactly the divergence hazard
-            victim = next((g for g in self._groups if g != sched.group), None)
-            if victim is None:
-                break  # one in-flight collective larger than the cache
-            self._evict_group(victim)
+        with self._lock:
+            if sched.group in self._tombstones:
+                return  # group already evicted; a partial re-insert diverges
+            old = self._entries.get(sched.key)
+            if old is not None:
+                self._discard_from_group(old)
+            self._entries[sched.key] = sched
+            self._groups.setdefault(sched.group, set()).add(sched.key)
+            self._groups.move_to_end(sched.group)
+            while len(self._entries) > self.max_entries:
+                # never evict the collective currently being stored: its
+                # remaining ranks have yet to add their entries, and a
+                # half-present group is exactly the divergence hazard
+                victim = next(
+                    (g for g in self._groups if g != sched.group), None
+                )
+                if victim is None:
+                    break  # one in-flight collective larger than the cache
+                self._evict_group(victim)
 
     def _evict_group(self, group) -> None:
-        self._tombstones.add(group)
+        self._tombstones[group] = None
+        self._tombstones.move_to_end(group)
+        while len(self._tombstones) > self.MAX_TOMBSTONES:
+            self._tombstones.popitem(last=False)
         for k in self._groups.pop(group):
             sched = self._entries.pop(k)
             self.evictions += 1
@@ -773,49 +827,66 @@ class ScheduleCache:
         their spec pair, not on the live layout, so they survive: they
         are exactly what makes the next flip back a cache hit.
         """
-        doomed = [
-            k for k, s in self._entries.items()
-            if array.uid in s.uid_chain and s.direction != "repartition"
-        ]
-        for k in doomed:
-            self._discard_from_group(self._entries.pop(k))
-        return len(doomed)
+        with self._lock:
+            doomed = [
+                k for k, s in self._entries.items()
+                if array.uid in s.uid_chain and s.direction != "repartition"
+            ]
+            for k in doomed:
+                self._discard_from_group(self._entries.pop(k))
+            return len(doomed)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._groups.clear()
-        self._decisions.clear()
-        self._decisions_run = None
-        self._tombstones.clear()
-        self._purged_epochs.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.by_direction = {}
+        with self._lock:
+            self._entries.clear()
+            self._groups.clear()
+            self._decisions.clear()
+            self._run_scopes.clear()
+            self._tombstones.clear()
+            self._purged_epochs.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.by_direction = {}
 
     def stats(self) -> dict[str, int]:
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def direction_stats(self) -> dict[str, dict[str, int]]:
         """Per-direction hit/miss counters (directions seen so far)."""
-        return {d: dict(v) for d, v in self.by_direction.items()}
+        with self._lock:
+            return {d: dict(v) for d, v in self.by_direction.items()}
 
     # ------------------------------------------------------------------
 
+    def _touch_run(self, run_id) -> None:
+        """Mark ``run_id`` live; prune the oldest runs' leftover verdicts.
+
+        Verdicts are normally deleted when every rank consumes them; a
+        run that errors out mid-collective leaks its open ones.  The
+        single-threaded design cleared everything whenever the run id
+        changed, which breaks once concurrent runs interleave -- so
+        scopes age out LRU-style instead.
+        """
+        scopes = self._run_scopes
+        scopes[run_id] = None
+        scopes.move_to_end(run_id)
+        while len(scopes) > self.MAX_RUN_SCOPES:
+            dead, _ = scopes.popitem(last=False)
+            doomed = [k for k in self._decisions if k[0] == dead]
+            for k in doomed:
+                del self._decisions[k]
+
     def _decide(self, call_id, key, grid: ProcessorGrid, run_id) -> _CallDecision:
-        if run_id != self._decisions_run:
-            # a new launch: any verdicts an earlier (possibly aborted)
-            # run left unconsumed are dead and must not be matched, and
-            # no straggler store from a finished run can arrive anymore
-            self._decisions.clear()
-            self._tombstones.clear()
-            self._decisions_run = run_id
-        decision = self._decisions.get(call_id)
+        self._touch_run(run_id)
+        dkey = (run_id, call_id)
+        decision = self._decisions.get(dkey)
         if decision is None:
             sched = self._entries.get(key)
             decision = _CallDecision(
@@ -823,13 +894,13 @@ class ScheduleCache:
                 group=sched.group if sched is not None else None,
                 expect=grid.size,
             )
-            self._decisions[call_id] = decision
+            self._decisions[dkey] = decision
         return decision
 
-    def _consume(self, call_id, decision: _CallDecision) -> None:
+    def _consume(self, dkey, decision: _CallDecision) -> None:
         decision.consumed += 1
         if decision.consumed >= decision.expect:
-            del self._decisions[call_id]
+            self._decisions.pop(dkey, None)
 
     def gather(self, ctx, grid: ProcessorGrid, array: BaseDistArray, indices):
         """Collective cached gather (generator; use ``yield from``).
@@ -849,26 +920,38 @@ class ScheduleCache:
         # schedule (whose stored fingerprint serves every later replay)
         fingerprint = index_fingerprint(indices)
         key = schedule_key(grid, array, indices, me, fingerprint=fingerprint)
-        decision = self._decide(call_id, key, grid, getattr(ctx, "run_id", None))
+        run_id = getattr(ctx, "run_id", None)
+        # verdict + accounting under the lock, in one critical section
+        # (a concurrent store/eviction between a probe and its counter
+        # bump must not split them); the replay/build below runs
+        # unlocked -- schedules are immutable once stored
+        with self._lock:
+            decision = self._decide(call_id, key, grid, run_id)
+            if decision.kind == "hit":
+                sched = self._entries.get(key)
+                if sched is not None and sched.group != decision.group:
+                    sched = None  # same fingerprint, different collective
+                if sched is None:
+                    sched = decision.retained.get(me)
+                if sched is None:
+                    raise ValidationError(
+                        f"divergent index pattern: rank {me} brought a "
+                        "request set that does not belong to the schedule "
+                        "the rest of the grid is replaying (all ranks of a "
+                        "cached gather must keep or change their patterns "
+                        "together)"
+                    )
+                self.hits += 1
+                self._count("gather", "hits")
+                if sched.group in self._groups:
+                    self._groups.move_to_end(sched.group)
+            else:
+                sched = None
+                self.misses += 1
+                self._count("gather", "misses")
+            self._consume((run_id, call_id), decision)
 
-        if decision.kind == "hit":
-            sched = self._entries.get(key)
-            if sched is not None and sched.group != decision.group:
-                sched = None  # same fingerprint, different collective
-            if sched is None:
-                sched = decision.retained.get(me)
-            if sched is None:
-                raise ValidationError(
-                    f"divergent index pattern: rank {me} brought a request "
-                    "set that does not belong to the schedule the rest of "
-                    "the grid is replaying (all ranks of a cached gather "
-                    "must keep or change their patterns together)"
-                )
-            self.hits += 1
-            self._count("gather", "hits")
-            if sched.group in self._groups:
-                self._groups.move_to_end(sched.group)
-            self._consume(call_id, decision)
+        if sched is not None:
             yield from _mark(
                 ctx, "commsched/hit",
                 ("gather", array.name, sched.fingerprint[:8]),
@@ -876,9 +959,6 @@ class ScheduleCache:
             result = yield from execute_gather(ctx, sched, array, tag=tag)
             return result
 
-        self.misses += 1
-        self._count("gather", "misses")
-        self._consume(call_id, decision)
         yield from _mark(
             ctx, "commsched/miss",
             ("gather", array.name, fingerprint[:8]),
@@ -907,16 +987,19 @@ class ScheduleCache:
         tag = ctx.next_tag(array.grid)
         key = repartition_key(array, new_dist, me)
         label = f"{array.dist.spec_key()}->{new_dist.spec_key()}"
-        sched = self._entries.get(key)
+        with self._lock:
+            sched = self._entries.get(key)
+            if sched is not None:
+                self.hits += 1
+                self._count("repartition", "hits")
+                if sched.group in self._groups:
+                    self._groups.move_to_end(sched.group)
+            else:
+                self.misses += 1
+                self._count("repartition", "misses")
         if sched is not None:
-            self.hits += 1
-            self._count("repartition", "hits")
-            if sched.group in self._groups:
-                self._groups.move_to_end(sched.group)
             yield from _mark(ctx, "commsched/hit", ("repartition", array.name, label))
         else:
-            self.misses += 1
-            self._count("repartition", "misses")
             yield from _mark(ctx, "commsched/miss", ("repartition", array.name, label))
             sched = build_repartition_schedule(
                 array, new_dist, me,
@@ -933,8 +1016,11 @@ class ScheduleCache:
         # and the scan runs once per collective, not once per rank.
         if self is not DEFAULT_CACHE:
             epoch = array.comm_epoch  # post-commit epoch
-            if self._purged_epochs.get(array.uid) != epoch:
-                self._purged_epochs[array.uid] = epoch
+            with self._lock:
+                purge = self._purged_epochs.get(array.uid) != epoch
+                if purge:
+                    self._purged_epochs[array.uid] = epoch
+            if purge:
                 self.invalidate_array(array)
 
 

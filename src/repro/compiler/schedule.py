@@ -47,6 +47,7 @@ docs/performance.md).
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from typing import Any, Callable
@@ -101,6 +102,21 @@ class PlanCache:
     recompiling what another rank still has cached produces identical
     communication.
 
+    The cache is **thread-safe** and may be shared by many Sessions (the
+    serving layer, :mod:`repro.serve`, does exactly that): every probe,
+    store, LRU touch, counter bump, and purge happens under one
+    re-entrant lock, and a miss holds the lock *across* ``build()`` so
+    one compile serves every concurrent requester of the same key --
+    compile once, serve everyone.  That is sound because the cached
+    artifacts are immutable once published: a
+    :class:`~repro.compiler.commgen.LoopAnalysis` and its frozen
+    :class:`~repro.compiler.commsched.TransferSchedule` objects are
+    never mutated after construction, and the analysis's two lazy
+    memoizations (per-rank StepPlans, the overlap interior split) are
+    guarded by the analysis's own lock -- so replaying a shared plan
+    from many threads needs no further synchronization.  See
+    "Thread safety and the immutability contract" in ``docs/api.md``.
+
     >>> cache = PlanCache(max_entries=8)
     >>> cache.get("demo", ("k",), lambda: 42)
     (42, False)
@@ -119,6 +135,9 @@ class PlanCache:
         #: per-kind hit/miss counters, e.g. ``{"doall": {"hits": 9,
         #: "misses": 1}}``
         self.by_kind: dict[str, dict[str, int]] = {}
+        # guards entries, LRU order, and counters; re-entrant because a
+        # build() may consult the cache it is being stored into
+        self._lock = threading.RLock()
         _ALL_PLAN_CACHES.add(self)
 
     def __len__(self) -> int:
@@ -141,20 +160,26 @@ class PlanCache:
         static-analysis lookups (estimates, explain) do not inflate the
         replay statistics.  A miss always counts -- it did the compile
         work.
+
+        The lock is held across ``build()``: concurrent requesters of
+        one uncompiled key serialize on the single compile and all
+        receive the same plan object, instead of racing N redundant
+        compiles whose last store wins.
         """
         k = (kind, key)
-        entry = self._entries.get(k)
-        if entry is not None:
-            self._entries.move_to_end(k)
-            if count:
-                self._count(kind, "hits")
-            return entry[0], True
-        plan = build()
-        self._count(kind, "misses")
-        self._entries[k] = (plan, tuple(uids() if callable(uids) else uids))
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-        return plan, False
+        with self._lock:
+            entry = self._entries.get(k)
+            if entry is not None:
+                self._entries.move_to_end(k)
+                if count:
+                    self._count(kind, "hits")
+                return entry[0], True
+            plan = build()
+            self._count(kind, "misses")
+            self._entries[k] = (plan, tuple(uids() if callable(uids) else uids))
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            return plan, False
 
     def analysis(self, loop: Doall, count: bool = True) -> tuple[LoopAnalysis, bool]:
         """Cached :class:`LoopAnalysis` of ``loop``; ``(analysis, was_cached)``.
@@ -179,17 +204,20 @@ class PlanCache:
         the replays here keeps the hit/miss accounting identical between
         the two executors without paying for the structural key walk.
         """
-        self._count(kind, "hits")
+        with self._lock:
+            self._count(kind, "hits")
 
     def clear_kind(self, kind: str) -> int:
         """Drop every plan of one kind; returns the count removed."""
-        doomed = [k for k in self._entries if k[0] == kind]
-        for k in doomed:
-            del self._entries[k]
-        return len(doomed)
+        with self._lock:
+            doomed = [k for k in self._entries if k[0] == kind]
+            for k in doomed:
+                del self._entries[k]
+            return len(doomed)
 
     def drop(self, kind: str, key) -> None:
-        self._entries.pop((kind, key), None)
+        with self._lock:
+            self._entries.pop((kind, key), None)
 
     def drop_loop(self, loop: Doall) -> None:
         self.drop("doall", loop.key())
@@ -200,23 +228,29 @@ class PlanCache:
         plans (their keys embed the old comm epoch) do not accumulate.
         """
         uid = array.uid
-        doomed = [k for k, (_, uids) in self._entries.items() if uid in uids]
-        for k in doomed:
-            del self._entries[k]
-        return len(doomed)
+        with self._lock:
+            doomed = [k for k, (_, uids) in self._entries.items() if uid in uids]
+            for k in doomed:
+                del self._entries[k]
+            return len(doomed)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.by_kind = {}
+        with self._lock:
+            self._entries.clear()
+            self.by_kind = {}
 
     def stats(self) -> dict[str, int]:
-        hits = sum(d["hits"] for d in self.by_kind.values())
-        misses = sum(d["misses"] for d in self.by_kind.values())
-        return {"entries": len(self._entries), "hits": hits, "misses": misses}
+        with self._lock:
+            hits = sum(d["hits"] for d in self.by_kind.values())
+            misses = sum(d["misses"] for d in self.by_kind.values())
+            return {
+                "entries": len(self._entries), "hits": hits, "misses": misses,
+            }
 
     def kind_stats(self) -> dict[str, dict[str, int]]:
         """Per-kind hit/miss counters (kinds seen so far)."""
-        return {k: dict(v) for k, v in self.by_kind.items()}
+        with self._lock:
+            return {k: dict(v) for k, v in self.by_kind.items()}
 
 
 #: Plan cache behind the implicit default Session (the deprecated
@@ -341,6 +375,99 @@ def replay_analysis(
         yield from _replay_step_plan(ctx, analysis.step_plan(me), overlap, tag)
     else:
         yield from _interpret_doall(ctx, analysis, overlap, tag)
+
+
+def replay_batch_analysis(
+    ctx, analysis: LoopAnalysis, blocks: dict, nbatch: int,
+    overlap: bool = False, reused: bool = True,
+):
+    """Drive one rank's share of a doall over ``nbatch`` bindings at once.
+
+    The batched twin of :func:`replay_analysis` behind
+    ``Program.run_batch``: the same frozen schedules replay once per
+    sweep, but every fetch, closure, and store carries a leading batch
+    axis, so one pass advances all ensemble members together.  ``blocks``
+    maps ``array.uid`` to this rank's batched local block -- shape
+    ``(nbatch,) + local shape`` -- which the driver reads ghosts from
+    and stores results into (the live arrays are never touched; the
+    caller owns the batched copies and the write-back).
+
+    Wire discipline: message *counts* and tags are identical to one
+    single-binding sweep -- each payload slot just widens by the batch
+    factor.  Compute charges scale by ``nbatch`` (the ensemble honestly
+    does that many members' flops).
+    """
+    me = ctx.rank
+    tag = ctx.next_tag(analysis.loop.grid)
+    yield from announce_replay(ctx, analysis, reused)
+    yield from _replay_batch_plan(
+        ctx, analysis.step_plan(me, nbatch=nbatch), tag, blocks, overlap
+    )
+
+
+def _replay_batch_plan(ctx, plan, tag, blocks: dict, overlap: bool):
+    """Replay a batched :class:`~repro.compiler.commgen.StepPlan`.
+
+    Mirrors :func:`_replay_step_plan` exactly, with two substitutions:
+    reads and stores go through the caller's batched shadow blocks
+    instead of ``array.local(rank)``, and the transfer ``read``/``write``
+    callables prefix every frozen selection with ``slice(None)`` on the
+    batch axis (the plan's own recipes are pre-prefixed at build time).
+    """
+    readers: list[tuple] = []
+    for wire_kind, array, sched, buf in plan.reads:
+        if sched is None:
+            continue
+        if sched.sends or sched.self_src is not None:
+            read = _batch_get(blocks[array.uid])
+        else:
+            read = None
+        yield from transfer_sends(ctx, sched, read, tag=tag, kind=wire_kind)
+        if buf is not None:
+            transfer_local_move(sched, read, _batch_put(buf))
+        if sched.recvs:
+            readers.append((sched, buf, wire_kind))
+
+    interior, interior_flops, remaining, remaining_flops = plan.charges(overlap)
+    if interior:
+        yield Compute(flops=interior_flops, label=plan.label_interior)
+
+    for sched, buf, wire_kind in readers:
+        yield from transfer_recvs(
+            ctx, sched, _batch_put(buf), tag=tag, kind=wire_kind
+        )
+
+    if remaining:
+        yield Compute(
+            flops=remaining_flops,
+            label=plan.label_boundary if interior else plan.label,
+        )
+
+    stmt_vals = [None if fn is None else fn() for fn in plan.evals]
+
+    nb = plan.nbatch
+    for values, store in zip(stmt_vals, plan.stores):
+        if store is None:
+            continue
+        op = store[0]
+        if op == "box":
+            _, array, locs, perm, boxshape = store
+            blocks[array.uid][locs] = values.transpose(perm).reshape(boxshape)
+        elif op == "flat":
+            _, array, locs = store
+            blocks[array.uid][locs] = values.reshape(nb, -1)
+        else:  # "transfer": remote-write scatter replay
+            _, array, sched, wire_kind = store
+            yield from execute_transfer(
+                ctx,
+                sched,
+                read=_batch_reader(
+                    None if values is None else values.reshape(nb, -1)
+                ),
+                write=_batch_writer(blocks, array.uid),
+                tag=tag,
+                kind=wire_kind,
+            )
 
 
 def announce_replay(ctx, analysis: LoopAnalysis, reused: bool):
@@ -653,4 +780,57 @@ def _writer(array, rank: int):
     """Stores through frozen local-block coordinates."""
     def write(locs, values):
         array.local(rank)[locs] = values
+    return write
+
+
+def _lead(idx) -> tuple:
+    """Prefix a frozen schedule selection with the batch axis.
+
+    Schedules freeze two selection forms: open-mesh tuples (gather
+    send/recv sides, local boxes) and flat coordinate arrays (scatter
+    selections).  Either way the batched form is the same selection on
+    every ensemble member at once.
+    """
+    if not isinstance(idx, tuple):
+        idx = (idx,)
+    return (slice(None),) + idx
+
+
+def _batch_get(block: np.ndarray):
+    """Batched source reads: the frozen selection, on every member."""
+    def read(idx):
+        return block[_lead(idx)]
+    return read
+
+
+def _batch_put(buf: np.ndarray):
+    """Batched workspace stores (local moves and ghost receives)."""
+    def write(idx, values):
+        buf[_lead(idx)] = values
+    return write
+
+
+def _batch_reader(flat: np.ndarray | None):
+    """Selection reads from one statement's batched value matrix.
+
+    ``flat`` is the ``(nbatch, points)`` reshape of the statement's
+    value box; a scatter selection picks the same columns for every
+    member.  The fancy read owns its data, so
+    :func:`~repro.compiler.commsched.freeze_payload` ships it copy-free.
+    """
+    def read(sel):
+        assert flat is not None, "schedule sends values on an empty rank"
+        return flat[:, sel]
+    return read
+
+
+def _batch_writer(blocks: dict, uid):
+    """Stores through frozen local-block coordinates, batched.
+
+    Looks the block up lazily: a rank can be a pure *sender* for a
+    scatter (it owns none of the lhs), in which case its write side
+    never runs and no batched block need exist.
+    """
+    def write(locs, values):
+        blocks[uid][_lead(locs)] = values
     return write

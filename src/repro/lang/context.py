@@ -33,21 +33,25 @@ from repro.util.errors import ReproDeprecationWarning, ValidationError
 #: Launch-identity counter behind :func:`next_run_id`; all ranks of one
 #: launch share one id, which scopes collective cache decisions to that
 #: run (per-grid tag counters restart every run, so tags alone recur).
+#: ``itertools.count`` hands out each integer exactly once even under
+#: free-threaded concurrent ``next()`` calls, so no lock is needed.
 _RUN_IDS = itertools.count()
 
 
 def next_run_id() -> tuple[int, int]:
-    """Allocate a launch identity that is unique *across processes*.
+    """Allocate a launch identity unique *across processes and threads*.
 
     Run ids scope :class:`~repro.compiler.commsched.ScheduleCache`
     per-run decision logs and repartition staging tokens, so two
-    concurrent launches must never share one.  A bare process-global
-    counter satisfies that only within a single process: a worker
-    process forked by the multiprocessing backend inherits the parent's
-    counter state and would re-issue the same integers.  Keying the id
-    by ``(pid, counter)`` makes collisions impossible no matter which
-    process allocates -- ids are only ever used as opaque hashable
-    tokens, never ordered or arithmetic'd on.
+    concurrent launches must never share one.  A bare ``c = c + 1``
+    counter fails that twice over: a worker process forked by the
+    multiprocessing backend inherits the parent's counter state and
+    would re-issue the same integers, and two serving threads
+    (:mod:`repro.serve`) racing the read-increment-write would collide
+    within one process.  Keying the id by ``(pid, counter)`` with an
+    atomic ``itertools.count`` makes collisions impossible no matter
+    which process or thread allocates -- ids are only ever used as
+    opaque hashable tokens, never ordered or arithmetic'd on.
     """
     return (os.getpid(), next(_RUN_IDS))
 
@@ -97,7 +101,9 @@ class KaliCtx:
             )
         #: (label, direction) -> count, filled in cheap-marks mode.
         self.mark_counts: dict[tuple, int] = {}
-        self._counters: dict[tuple, int] = {}
+        #: per-grid tag allocators; ``itertools.count`` objects, so
+        #: allocation is atomic (see :meth:`next_tag`).
+        self._counters: dict[tuple, itertools.count] = {}
 
     def count_mark(self, label: str, direction: str) -> None:
         """Aggregate one schedule event (cheap-marks mode)."""
@@ -113,11 +119,19 @@ class KaliCtx:
         Every rank of ``grid`` executes the same sequence of collective
         operations on it (SPMD discipline), so a per-grid counter yields
         identical tags on all members without communication.
+
+        Allocation is atomic: the bare ``c = get(); put(c + 1)``
+        read-modify-write would hand two threads the same tag if a
+        context were ever driven concurrently (``dict.setdefault`` plus
+        ``next()`` on an ``itertools.count`` never lose an increment),
+        so the serving layer cannot silently alias two collectives'
+        message streams.
         """
         k = grid.key()
-        c = self._counters.get(k, 0)
-        self._counters[k] = c + 1
-        return ("kali", k, c)
+        counter = self._counters.get(k)
+        if counter is None:
+            counter = self._counters.setdefault(k, itertools.count())
+        return ("kali", k, next(counter))
 
     # -- session plumbing --------------------------------------------------
 

@@ -361,6 +361,24 @@ def compile_expr(expr: Expr, resolve):
     >>> fn = compile_expr(e, resolve=lambda ref: None)
     >>> float(fn())
     5.0
+
+    **Batch axis.**  Because the closure is a chain of pre-bound numpy
+    ufuncs, a *leading batch axis* threads through for free: when the
+    resolve closures hand back ``(B,) + shape`` reads instead of
+    ``shape`` ones -- which is exactly what a batched
+    :class:`~repro.compiler.commgen.StepPlan` pre-binds for
+    ``Program.run_batch`` -- the same compiled closure evaluates all
+    ``B`` ensemble members in one vectorized call, constants
+    broadcasting across the new axis untouched:
+
+    >>> from types import SimpleNamespace
+    >>> A = SimpleNamespace(ndim=1, uid=0)
+    >>> e = Ref(A, (AffineExpr(const=0),)) * as_expr(2.0)
+    >>> batched = np.array([[1.0], [10.0]])        # B=2 members
+    >>> fn = compile_expr(e, resolve=lambda ref: lambda: batched)
+    >>> fn()
+    array([[ 2.],
+           [20.]])
     """
     if isinstance(expr, Const):
         value = expr.value

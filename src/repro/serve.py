@@ -1,0 +1,365 @@
+"""Program-as-a-service: pooled Sessions and a threaded serving front end.
+
+The compile-once/run-forever contract makes compiled
+:class:`~repro.session.Program` artifacts natural *services*: the
+schedules are frozen and immutable, so the only obstacle to admitting
+many concurrent ``run`` requests is the mutable launch state around
+them.  This module supplies that serving layer:
+
+* :class:`SessionPool` -- N :class:`~repro.session.Session` workers
+  sharing **one** thread-safe
+  :class:`~repro.compiler.commsched.ScheduleCache` and one
+  :class:`~repro.compiler.schedule.PlanCache` (the same rewiring
+  :func:`~repro.session.default_session` does), so a schedule compiled
+  by any request replays for every later request on any session.
+  Sessions hand out per-run state (run ids, trace history, mark
+  folding); the shared caches hand out the frozen artifacts.
+* :class:`Server` -- a thread-pool front end: ``submit`` returns a
+  Future, ``run`` blocks; each request checks a Session out of the
+  pool, executes ``program.run(..., session=that_session)``, and
+  records latency.  Distinct Programs run concurrently; runs of one
+  Program serialize on its :attr:`~repro.session.Program.lock` (its
+  arrays are the mutable state).
+
+**Thread-safety / immutability contract** (see "Serving" in
+``docs/api.md``): frozen ``TransferSchedule``/``StepPlan`` artifacts
+are immutable once published and may be replayed by any number of
+threads; the caches' LRU/stats paths are locked; per-run decision state
+is keyed by run id.  Pooled sessions default to ``marks="cheap"`` --
+steady-state serving wants aggregate counters, not per-op mark objects.
+
+>>> import numpy as np
+>>> from repro import Machine
+>>> from repro.serve import Server
+>>> src = '''
+... processors procs(2)
+... real x(0:7) dist (block)
+... real y(0:7) dist (block)
+... doall (i) = [1, 6] on owner(y(i))
+...   y(i) = x(i-1) + x(i+1)
+... end doall
+... '''
+>>> with Server(machine=Machine(n_procs=2), threads=2) as srv:
+...     prog = srv.compile(src)
+...     trace = srv.run(prog, x=np.arange(8.0))   # synchronous request
+...     fut = srv.submit(prog, x=np.zeros(8))     # asynchronous request
+...     _ = fut.result()
+...     srv.stats()["requests"]
+2
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Callable, Sequence
+
+from repro.compiler.commsched import ScheduleCache
+from repro.compiler.schedule import PlanCache
+from repro.lang.procs import ProcessorGrid
+from repro.machine.simulator import Machine
+from repro.machine.trace import Trace
+from repro.session import BatchResult, Program, Session
+from repro.session import compile as _compile
+from repro.util.errors import ValidationError
+
+
+class SessionPool:
+    """A fixed pool of Sessions sharing one schedule and one plan cache.
+
+    Parameters
+    ----------
+    size:
+        Number of pooled Sessions (the concurrency the pool admits).
+    machine, grid, backend:
+        Defaults for every pooled Session, as in
+        :class:`~repro.session.Session`.
+    marks:
+        Mark mode of pooled sessions; defaults to ``"cheap"`` (serving
+        wants aggregate schedule counters, not per-op mark records).
+    factory:
+        Optional zero-argument callable building each Session instead
+        (for custom cost models etc.); its cache/plans are still
+        replaced by the shared ones.
+    max_schedule_entries, max_plan_entries:
+        Bounds of the *shared* caches.
+
+    The shared caches are exactly what makes the pool a serving layer
+    rather than N isolated workloads: a Program compiled through any
+    pooled session freezes its schedules into :attr:`plans` /
+    :attr:`cache`, and every subsequent request -- on whichever session
+    the checkout hands it -- replays them.  Both caches are
+    thread-safe; the frozen artifacts they hold are immutable.
+
+    ``acquire``/``release`` (or the :meth:`session` context manager)
+    check sessions out; ``acquire`` blocks when all are busy, so the
+    pool also acts as an admission throttle.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        machine: Machine | None = None,
+        grid: ProcessorGrid | None = None,
+        backend=None,
+        marks: str = "cheap",
+        factory: Callable[[], Session] | None = None,
+        max_schedule_entries: int = 256,
+        max_plan_entries: int = 4096,
+    ):
+        if size < 1:
+            raise ValidationError(f"SessionPool needs size >= 1, got {size}")
+        #: the one ScheduleCache every pooled session consults
+        self.cache = ScheduleCache(max_entries=max_schedule_entries)
+        #: the one PlanCache every pooled session consults
+        self.plans = PlanCache(max_entries=max_plan_entries)
+        self.sessions: list[Session] = []
+        for _ in range(size):
+            s = (
+                factory() if factory is not None
+                else Session(machine, grid, backend=backend, marks=marks)
+            )
+            # the default_session() rewiring: replace the session's
+            # private caches with the pool-shared ones
+            s.cache = self.cache
+            s.plans = self.plans
+            self.sessions.append(s)
+        self._free: list[Session] = list(self.sessions)
+        self._cond = threading.Condition()
+
+    @property
+    def size(self) -> int:
+        return len(self.sessions)
+
+    # -- checkout ----------------------------------------------------------
+
+    def acquire(self, timeout: float | None = None) -> Session:
+        """Check a Session out; blocks (up to ``timeout``) when all busy."""
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._free, timeout=timeout):
+                raise TimeoutError(
+                    f"no free session in pool of {self.size} "
+                    f"after {timeout}s"
+                )
+            return self._free.pop()
+
+    def release(self, session: Session) -> None:
+        """Return a checked-out Session to the pool."""
+        if session not in self.sessions:
+            raise ValidationError("release() of a session not from this pool")
+        with self._cond:
+            if session in self._free:
+                raise ValidationError("release() of a session not checked out")
+            self._free.append(session)
+            self._cond.notify()
+
+    @contextmanager
+    def session(self, timeout: float | None = None):
+        """``with pool.session() as s:`` -- checkout with guaranteed return."""
+        s = self.acquire(timeout=timeout)
+        try:
+            yield s
+        finally:
+            self.release(s)
+
+    # -- compile and introspect -------------------------------------------
+
+    def compile(self, obj, *, grid: ProcessorGrid | None = None) -> Program:
+        """Compile ``obj`` against the pool's shared caches.
+
+        The Program is bound to one pooled session (its default when
+        run directly), but its frozen analyses live in the *shared*
+        plan cache -- any pooled session replays them.
+        """
+        with self.session() as s:
+            return _compile(obj, session=s, grid=grid)
+
+    def stats(self) -> dict:
+        """Shared-cache accounting plus the per-session run counts."""
+        return {
+            "size": self.size,
+            "runs": sum(s.runs for s in self.sessions),
+            "schedules": self.cache.stats(),
+            "directions": self.cache.direction_stats(),
+            "plans": self.plans.kind_stats(),
+        }
+
+    def hit_rates(self) -> dict[str, float]:
+        """Replay rates per direction/kind over the shared caches."""
+        out: dict[str, float] = {}
+        for source in (self.cache.by_direction, self.plans.by_kind):
+            for name, v in source.items():
+                total = v["hits"] + v["misses"]
+                out[name] = v["hits"] / total if total else 0.0
+        return out
+
+
+#: retain at most this many per-request latencies for the percentiles
+_MAX_LATENCIES = 4096
+
+
+class Server:
+    """Threaded front end admitting concurrent Program.run requests.
+
+    Builds (or wraps) a :class:`SessionPool` and drives it from a
+    thread pool: :meth:`submit` enqueues a request and returns a
+    ``concurrent.futures.Future``; :meth:`run` is its blocking twin.
+    Each request checks a session out of the pool for its duration, so
+    the pool size bounds in-flight launches; it defaults to the thread
+    count, which makes checkout deadlock-free by construction.
+
+    ``submit_batch``/``run_batch`` serve whole ensembles per request
+    through :meth:`Program.run_batch`.  :meth:`stats` reports request
+    counts, p50/p99 latency, and the shared caches' hit rates.
+    """
+
+    def __init__(
+        self,
+        pool: SessionPool | None = None,
+        *,
+        machine: Machine | None = None,
+        grid: ProcessorGrid | None = None,
+        backend=None,
+        threads: int = 4,
+        marks: str = "cheap",
+        pool_size: int | None = None,
+    ):
+        if threads < 1:
+            raise ValidationError(f"Server needs threads >= 1, got {threads}")
+        if pool is None:
+            pool = SessionPool(
+                pool_size if pool_size is not None else threads,
+                machine=machine, grid=grid, backend=backend, marks=marks,
+            )
+        elif machine is not None or grid is not None or pool_size is not None:
+            raise ValidationError(
+                "pass machine/grid/pool_size when the Server builds its "
+                "own pool, not together with an explicit one"
+            )
+        self.pool = pool
+        self.threads = threads
+        self._executor = ThreadPoolExecutor(
+            max_workers=threads, thread_name_prefix="repro-serve"
+        )
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._failures = 0
+        self._latencies: list[float] = []
+        self._closed = False
+
+    # -- requests ----------------------------------------------------------
+
+    def submit(self, program: Program, *args: Any, **kwargs: Any) -> Future:
+        """Enqueue one ``program.run(*args, **kwargs)``; returns a Future.
+
+        The request executes on a worker thread against a pooled
+        session; the Future resolves to the run's
+        :class:`~repro.machine.trace.Trace`.
+        """
+        return self._submit(program.run, args, kwargs)
+
+    def submit_batch(
+        self, program: Program, bindings: Sequence[dict], **kwargs: Any
+    ) -> Future:
+        """Enqueue one batched ensemble request (``Program.run_batch``)."""
+        return self._submit(program.run_batch, (bindings,), kwargs)
+
+    def run(self, program: Program, *args: Any, **kwargs: Any) -> Trace:
+        """Blocking request: ``submit`` and wait for the trace."""
+        return self.submit(program, *args, **kwargs).result()
+
+    def run_batch(
+        self, program: Program, bindings: Sequence[dict], **kwargs: Any
+    ) -> BatchResult:
+        """Blocking batched request (``Program.run_batch``)."""
+        return self.submit_batch(program, bindings, **kwargs).result()
+
+    def fetch(self, program: Program, *names: str) -> dict:
+        """Snapshot result arrays of ``program`` under its run lock.
+
+        Concurrent requests mutate a Program's arrays between runs;
+        reading them racily can observe a half-written state.  This
+        takes :attr:`Program.lock` (so no run is mid-flight) and
+        returns ``{name: global numpy copy}``.
+        """
+        with program.lock:
+            return {
+                name: program.arrays[name].to_global().copy()
+                for name in (names or sorted(program.arrays))
+            }
+
+    def _submit(self, call, args, kwargs) -> Future:
+        if self._closed:
+            raise ValidationError("Server is closed")
+        return self._executor.submit(self._serve, call, args, kwargs)
+
+    def _serve(self, call, args, kwargs):
+        t0 = perf_counter()
+        try:
+            with self.pool.session() as s:
+                out = call(*args, session=s, **kwargs)
+        except BaseException:
+            with self._lock:
+                self._requests += 1
+                self._failures += 1
+            raise
+        dt = perf_counter() - t0
+        with self._lock:
+            self._requests += 1
+            self._latencies.append(dt)
+            if len(self._latencies) > _MAX_LATENCIES:
+                del self._latencies[: -_MAX_LATENCIES]
+        return out
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Request accounting: counts, latency percentiles, cache rates.
+
+        ``latency`` holds seconds over (up to) the last 4096 completed
+        requests -- the same fields ``BENCH_serve.json`` records.
+        """
+        with self._lock:
+            lats = sorted(self._latencies)
+            requests, failures = self._requests, self._failures
+        return {
+            "requests": requests,
+            "failures": failures,
+            "threads": self.threads,
+            "pool_size": self.pool.size,
+            "latency": {
+                "p50": _percentile(lats, 0.50),
+                "p99": _percentile(lats, 0.99),
+                "mean": (sum(lats) / len(lats)) if lats else 0.0,
+            },
+            "hit_rates": self.pool.hit_rates(),
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain outstanding requests and shut the worker threads down."""
+        self._closed = True
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # convenience: compile straight against the pool
+    def compile(self, obj, *, grid: ProcessorGrid | None = None) -> Program:
+        """Compile ``obj`` against the pool's shared caches."""
+        return self.pool.compile(obj, grid=grid)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    i = min(len(sorted_values) - 1, max(0, int(q * len(sorted_values))))
+    return sorted_values[i]

@@ -53,6 +53,7 @@ True
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
@@ -164,6 +165,13 @@ class Session:
         self.history: list[Trace] = []
         self.max_history = max_history
         self.runs = 0
+        # guards the run counter, the history append/trim, and the lazy
+        # multiprocessing-backend construction: traces hold full
+        # per-message event lists, so a torn append/trim under
+        # concurrent launches (the serving layer runs one Session per
+        # worker thread, but a Session is also safe to share) would
+        # corrupt the log
+        self._lock = threading.RLock()
 
     # -- launching ---------------------------------------------------------
 
@@ -196,15 +204,16 @@ class Session:
         if backend is None or backend == "simulator":
             return machine
         if backend == "multiprocessing":
-            cached = self._mp_backend
-            if cached is None or cached.machine is not machine:
-                from repro.machine.mpbackend import MultiprocessingBackend
+            with self._lock:
+                cached = self._mp_backend
+                if cached is None or cached.machine is not machine:
+                    from repro.machine.mpbackend import MultiprocessingBackend
 
-                if cached is not None:
-                    cached.close()
-                cached = MultiprocessingBackend(machine)
-                self._mp_backend = cached
-            return cached
+                    if cached is not None:
+                        cached.close()
+                    cached = MultiprocessingBackend(machine)
+                    self._mp_backend = cached
+                return cached
         return backend
 
     def run(
@@ -299,10 +308,11 @@ class Session:
         return self._record(machine.run(programs))
 
     def _record(self, trace: Trace) -> Trace:
-        self.runs += 1
-        self.history.append(trace)
-        if len(self.history) > self.max_history:
-            del self.history[: -self.max_history]
+        with self._lock:
+            self.runs += 1
+            self.history.append(trace)
+            if len(self.history) > self.max_history:
+                del self.history[: -self.max_history]
         return trace
 
     # -- compilation -------------------------------------------------------
@@ -385,6 +395,14 @@ class Program:
         self.ambiguous_names: set[str] = set()
         self.routine = routine
         self.grid = grid
+        #: serializes runs of *this* Program: its arrays (and the
+        #: StepPlan workspaces of its analyses) are the mutable state a
+        #: run reads and writes, so two concurrent ``run``/``run_batch``
+        #: calls on one Program execute one-after-the-other.  Distinct
+        #: Programs -- even ones sharing a Session or its caches --
+        #: run concurrently; the serving layer (:mod:`repro.serve`)
+        #: relies on exactly this split.
+        self.lock = threading.RLock()
 
     # -- execution ---------------------------------------------------------
 
@@ -398,6 +416,7 @@ class Program:
         machine: Machine | None = None,
         backend: "str | Backend | None" = None,
         bindings: dict[str, np.ndarray] | None = None,
+        session: Session | None = None,
         **kwargs: Any,
     ) -> Trace:
         """Execute the program; returns the :class:`~repro.machine.trace.Trace`.
@@ -429,11 +448,30 @@ class Program:
         cost-model-stamped trace stay bit-identical to the simulator;
         parsub routines and ``compiled=False`` runs fall back to the
         backend's inner reference machine.
+
+        ``session`` overrides the Session the launch executes in (the
+        serving layer checks out pooled Sessions whose caches are
+        shared, so a Program compiled anywhere replays its frozen
+        schedules there).  Runs of one Program are serialized on
+        :attr:`lock` -- its arrays and plan workspaces are the mutable
+        state -- while distinct Programs run concurrently.
         """
+        with self.lock:
+            return self._run(
+                args, kwargs, iters=iters, overlap=overlap,
+                compiled=compiled, marks=marks, machine=machine,
+                backend=backend, bindings=bindings, session=session,
+            )
+
+    def _run(
+        self, args, kwargs, *, iters, overlap, compiled, marks,
+        machine, backend, bindings, session,
+    ) -> Trace:
+        sess = session if session is not None else self.session
         if iters < 1:
             raise ValidationError(f"iters must be >= 1, got {iters}")
         if compiled is None:
-            compiled = self.session.compiled
+            compiled = sess.compiled
         if self.routine is not None:
             if bindings is not None:
                 raise ValidationError("bindings apply to loop programs only")
@@ -449,7 +487,7 @@ class Program:
                 for _ in range(niters):
                     yield from routine(ctx, *args, **kwargs)
 
-            return self.session.run(
+            return sess.run(
                 _program, machine=machine, grid=self.grid,
                 backend=backend, compiled=compiled, marks=marks,
             )
@@ -479,7 +517,6 @@ class Program:
             # Backends that lower frozen loop replays to real parallel
             # execution take the whole run here; the generic path below
             # stays generator-driven on the (possibly inner) simulator.
-            sess = self.session
             resolved = backend if backend is not None else sess.backend
             mach = machine if machine is not None else sess.machine
             if mach is None:
@@ -525,10 +562,157 @@ class Program:
                     for loop in loops:
                         yield from ctx.doall(loop, overlap=overlap, compiled=False)
 
-        return self.session.run(
+        return sess.run(
             _program, machine=machine, grid=self.grid,
             backend=backend, compiled=compiled, marks=marks,
         )
+
+    def run_batch(
+        self,
+        bindings: Sequence[dict],
+        *,
+        iters: int = 1,
+        overlap: bool = False,
+        marks: str | None = None,
+        machine: Machine | None = None,
+        session: Session | None = None,
+    ) -> "BatchResult":
+        """Execute this loop program over many bindings as one batched sweep.
+
+        ``bindings`` is a sequence of ``{name: global array}`` dicts --
+        the same keyword bindings :meth:`run` takes -- one per ensemble
+        member.  Instead of looping ``run`` per member, the whole
+        ensemble executes as a *single vectorized run*: every array
+        block gains a leading batch axis, the frozen schedules replay
+        once per sweep with each payload slot widened by the batch
+        factor, and the compiled rhs closures evaluate all members in
+        one numpy call.  Wire message **counts** are identical to one
+        single-binding run; compute and bytes honestly scale by the
+        batch size.  See
+        :func:`repro.compiler.schedule.replay_batch_analysis`.
+
+        Each member starts from the program's pre-call array state with
+        its own bindings applied -- exactly what a fresh ``run`` per
+        member would see -- and results are **bit-identical** to that
+        looped reference (the property tests assert it).  After the
+        call, the live arrays hold the *last* member's final state, again
+        matching the loop; per-member results come back stacked on
+        :class:`BatchResult`.
+
+        ``session`` overrides the launch Session (pooled serving);
+        ``marks``/``machine`` are as in :meth:`run`.  The batched
+        executor is always the compiled path (there is no interpreted
+        batch twin) and runs on the simulator backend.
+        """
+        with self.lock:
+            return self._run_batch(
+                bindings, iters=iters, overlap=overlap, marks=marks,
+                machine=machine, session=session,
+            )
+
+    def _run_batch(
+        self, bindings, *, iters, overlap, marks, machine, session,
+    ) -> "BatchResult":
+        sess = session if session is not None else self.session
+        self._require_loops("run_batch()")
+        bindings = [dict(b) for b in bindings]
+        if not bindings:
+            raise ValidationError("run_batch() needs at least one binding")
+        if iters < 1:
+            raise ValidationError(f"iters must be >= 1, got {iters}")
+        for b in bindings:
+            for name in b:
+                if name in self.ambiguous_names:
+                    raise ValidationError(
+                        f"binding {name!r} is ambiguous: several distinct "
+                        "arrays share that name; give them unique names"
+                    )
+                if name not in self.arrays:
+                    raise ValidationError(
+                        f"unknown binding {name!r}: this program's arrays "
+                        f"are {sorted(self.arrays)}"
+                    )
+        nbatch = len(bindings)
+        loops, niters = self.loops, iters
+        grid = self.grid
+
+        arrays: dict[int, Any] = {}
+        for loop in loops:
+            for arr in loop.arrays():
+                if getattr(arr, "base", None) is not None:
+                    raise ValidationError(
+                        "run_batch() cannot batch a program over array "
+                        f"Sections ({arr.name!r} views another array's "
+                        "storage); run the base arrays directly"
+                    )
+                arrays[arr.uid] = arr
+
+        # Stage the batched shadow blocks: member b's initial state is
+        # the pre-call array contents with bindings[b] applied, staged
+        # through the live arrays (from_global owns the scatter logic)
+        # and restored between members so bindings never leak across.
+        snap = {
+            (uid, r): arr.local(r).copy()
+            for uid, arr in arrays.items() for r in grid.linear
+        }
+        blocks = {
+            (uid, r): np.empty((nbatch,) + arr.local(r).shape, dtype=arr.dtype)
+            for uid, arr in arrays.items() for r in grid.linear
+        }
+        for b, binding in enumerate(bindings):
+            for (uid, r), saved in snap.items():
+                arrays[uid].local(r)[...] = saved
+            for name, value in binding.items():
+                self.arrays[name].from_global(np.asarray(value))
+            for (uid, r), batched in blocks.items():
+                batched[b] = arrays[uid].local(r)
+
+        from repro.compiler.schedule import replay_batch_analysis
+
+        # Same resolve-once steady-state discipline as the compiled
+        # path in _run: one cache probe per loop per rank per run,
+        # replays counted as-if hits.
+        def _program(ctx):
+            me = ctx.rank
+            myblocks = {
+                uid: batched for (uid, r), batched in blocks.items() if r == me
+            }
+            plans = ctx.session.plans
+            resolved: list = [None] * len(loops)
+            for _ in range(niters):
+                for n, loop in enumerate(loops):
+                    if resolved[n] is None:
+                        analysis, reused = plans.analysis(loop)
+                        resolved[n] = analysis
+                    else:
+                        analysis, reused = resolved[n], True
+                        plans.count_replay("doall")
+                    yield from replay_batch_analysis(
+                        ctx, analysis, myblocks, nbatch,
+                        overlap=overlap, reused=reused,
+                    )
+
+        trace = sess.run(
+            _program, machine=machine, grid=grid, marks=marks,
+        )
+
+        # Write back member by member, collecting each one's global
+        # view; member order leaves the live arrays holding the last
+        # member's final state -- what a run-per-binding loop leaves.
+        named = {
+            name: arr for name, arr in self.arrays.items()
+            if getattr(arr, "uid", None) in arrays
+        }
+        results = {
+            name: np.empty((nbatch,) + arr.shape, dtype=arr.dtype)
+            for name, arr in named.items()
+        }
+        for b in range(nbatch):
+            for (uid, r), batched in blocks.items():
+                arrays[uid].local(r)[...] = batched[b]
+            for name, arr in named.items():
+                results[name][b] = arr.to_global()
+        return BatchResult(trace, nbatch, results)
 
     # -- static analysis ---------------------------------------------------
 
@@ -637,6 +821,50 @@ class Program:
             f"{sorted(self.arrays)}, grid="
             f"{None if self.grid is None else self.grid.shape})"
         )
+
+
+class BatchResult:
+    """Stacked per-member results of one :meth:`Program.run_batch`.
+
+    ``result[name]`` is a ``(nbatch,) + array shape`` numpy array whose
+    slice ``[b]`` is bit-identical to what ``Program.run`` with
+    ``bindings[b]`` would have left in ``Program.arrays[name]``.
+    ``trace`` is the single batched run's trace (one sweep's message
+    count, batch-scaled compute).
+    """
+
+    def __init__(self, trace: Trace, nbatch: int, results: dict[str, np.ndarray]):
+        self.trace = trace
+        self.nbatch = nbatch
+        self.results = results
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.results[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.results
+
+    def keys(self):
+        return self.results.keys()
+
+    def __len__(self) -> int:
+        return self.nbatch
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchResult(nbatch={self.nbatch}, "
+            f"arrays={sorted(self.results)})"
+        )
+
+
+def run_batch(program: Program, bindings: Sequence[dict], **kwargs) -> BatchResult:
+    """Run ``program`` over many bindings as one batched ensemble sweep.
+
+    Module-level convenience for :meth:`Program.run_batch`; see there
+    for semantics (bit-identical to a run-per-binding loop, one
+    schedule replay for the whole ensemble).
+    """
+    return program.run_batch(bindings, **kwargs)
 
 
 def compile(

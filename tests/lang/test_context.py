@@ -115,3 +115,53 @@ def test_run_spmd_shim_warns_and_runs():
     with pytest.warns(ReproDeprecationWarning):
         with pytest.raises(ValidationError):
             run_spmd(Machine(n_procs=2), ProcessorGrid((4,)), lambda ctx: iter(()))
+
+
+# ----------------------------------------------------------------------
+# Concurrency: the serving layer drives contexts/counters from threads
+# ----------------------------------------------------------------------
+
+
+def test_next_run_id_unique_under_threads():
+    """Run ids scope per-run cache decisions; two concurrent launches
+    (serving threads) must never share one."""
+    import threading
+    from repro.lang.context import next_run_id
+
+    ids: list = []
+
+    def grab():
+        ids.extend(next_run_id() for _ in range(1000))
+
+    threads = [threading.Thread(target=grab) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(set(ids)) == len(ids) == 8000
+
+
+def test_next_tag_never_duplicates_under_threads():
+    """Regression for the read-modify-write tag counter: a context
+    driven from several threads must hand out every tag exactly once
+    (a duplicate silently aliases two collectives' message streams)."""
+    import threading
+
+    g = ProcessorGrid((2,))
+    sub = g[0:1]
+    ctx = KaliCtx(0, g)
+    tags: list = []
+
+    def grab():
+        out = []
+        for _ in range(1000):
+            out.append(ctx.next_tag(g))
+            out.append(ctx.next_tag(sub))
+        tags.extend(out)
+
+    threads = [threading.Thread(target=grab) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(set(tags)) == len(tags) == 16000

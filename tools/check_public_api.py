@@ -22,6 +22,14 @@ _SECTION = "## Public surface"
 #: A documented name: a backticked identifier (dunders included).
 _NAME = re.compile(r"`([A-Za-z_][A-Za-z0-9_]*)`")
 
+#: Names whose removal would be a breaking change even if the docs were
+#: edited in the same commit -- the drift check alone can't catch a
+#: coordinated deletion, so these are pinned here.
+REQUIRED = {
+    "Session", "Program", "compile",
+    "SessionPool", "Server", "run_batch", "BatchResult",
+}
+
 
 def documented_names(path: str = API_DOC) -> set[str]:
     """Names listed in the docs' "Public surface" section."""
@@ -53,6 +61,8 @@ def check(doc_path: str = API_DOC) -> list[str]:
     for name in sorted(exported):
         if not hasattr(repro, name):
             problems.append(f"in repro.__all__ but not an attribute: {name}")
+    for name in sorted(REQUIRED - exported):
+        problems.append(f"required public name missing from repro.__all__: {name}")
     return problems
 
 

@@ -26,6 +26,7 @@ DEFAULT_MODULES = [
     "repro.lang.expr",
     "repro.machine.costmodel",
     "repro.machine.trace",
+    "repro.serve",
     "repro.session",
 ]
 

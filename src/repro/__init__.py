@@ -86,6 +86,7 @@ from repro.compiler import (
     execute_gather,
     inspector_gather,
 )
+from repro.elastic import Checkpoint, checkpoint, morph, restore
 from repro.session import (
     BatchResult,
     Program,
@@ -113,6 +114,8 @@ __all__ = [
     "Session", "Program", "compile", "default_session",
     # serving (pooled sessions, threaded front end, batched ensembles)
     "SessionPool", "Server", "run_batch", "BatchResult",
+    # elasticity (grid morphing, durable session state)
+    "Checkpoint", "checkpoint", "restore", "morph",
     # machine
     "Machine", "Backend", "MultiprocessingBackend", "CostModel", "Trace",
     "Complete", "Line", "Ring", "Mesh2D", "Torus2D", "Hypercube",

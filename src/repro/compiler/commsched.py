@@ -134,20 +134,28 @@ def schedule_key(
     )
 
 
-def repartition_key(array: BaseDistArray, new_dist, rank: int) -> tuple:
+def repartition_key(
+    array: BaseDistArray, new_dist, rank: int,
+    new_grid: ProcessorGrid | None = None,
+) -> tuple:
     """Cache key of one rank's share of a collective repartition.
 
-    Deliberately keyed on the *(from-layout, to-layout)* spec pair
-    instead of the comm epoch: a repartition schedule describes a layout
-    transition, so it stays valid every time the array is again in the
-    ``from`` layout -- which is exactly what makes repeated layout flips
-    (block -> cyclic -> block -> ...) pure cache hits.
+    Deliberately keyed on the *(from-layout, to-layout)* pair -- source
+    grid + specs, destination grid + specs -- instead of the comm epoch:
+    a repartition schedule describes a layout transition, so it stays
+    valid every time the array is again in the ``from`` layout -- which
+    is exactly what makes repeated layout flips (block -> cyclic ->
+    block -> ...) and repeated grid morphs (shrink -> grow -> shrink)
+    pure cache hits.  ``new_grid`` defaults to the array's own grid
+    (the classic same-grid relayout).
     """
+    to_grid = new_grid if new_grid is not None else array.grid
     return (
         "repartition",
         array.uid,
         array.grid.key(),
         array.dist.spec_key(),
+        to_grid.key(),
         new_dist.spec_key(),
         rank,
     )
@@ -197,6 +205,7 @@ class TransferSchedule:
         "uid_chain",
         "rank",
         "grid",
+        "to_grid",
         "n_out",
         "epoch",
         "fingerprint",
@@ -210,7 +219,8 @@ class TransferSchedule:
 
     def __init__(self, direction: str, key=None, rank: int = -1, grid=None,
                  n_out: int = 0, epoch: int | None = None, fingerprint: str = "",
-                 group=None, uid_chain=(), from_spec=None, to_spec=None):
+                 group=None, uid_chain=(), from_spec=None, to_spec=None,
+                 to_grid=None):
         if direction not in DIRECTIONS:
             raise ValidationError(f"unknown transfer direction {direction!r}")
         self.direction = direction
@@ -232,6 +242,10 @@ class TransferSchedule:
         #: layout transition (repartition only): Distribution spec keys.
         self.from_spec = from_spec
         self.to_spec = to_spec
+        #: destination grid of an inter-grid repartition; None means the
+        #: transfer stays on ``grid`` (gathers, scatters, same-grid
+        #: repartitions).
+        self.to_grid = to_grid
         #: local move: source-side and destination-side index arrays.
         self.self_src = None
         self.self_dst = None
@@ -258,6 +272,14 @@ class TransferSchedule:
             raise ValidationError(
                 f"stale {self.direction} schedule: the array is no longer "
                 f"in the schedule's source layout {self.from_spec!r}"
+            )
+        if self.direction == "repartition" and self.grid is not None \
+                and array.grid.key() != self.grid.key():
+            raise ValidationError(
+                f"stale {self.direction} schedule: the array moved to a "
+                f"different grid (schedule source grid {self.grid.key()}, "
+                f"array grid {array.grid.key()}); rebuild via the builder "
+                "or a ScheduleCache"
             )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -520,7 +542,7 @@ def _check_repartitionable(array) -> None:
         )
 
 
-def repartition_pieces(array, new_dist, rank: int | None = None):
+def repartition_pieces(array, new_dist, rank: int | None = None, new_grid=None):
     """Owner-to-owner moves realizing a relayout of ``array``.
 
     Yields ``(src, dst, src_locs, dst_locs)`` tuples: the values at
@@ -535,6 +557,12 @@ def repartition_pieces(array, new_dist, rank: int | None = None):
     schedule build needs O(P) intersections, not the full P^2
     enumeration the host-side relayout uses.
 
+    ``new_grid`` makes the relayout *inter-grid*: sources are the ranks
+    of ``array.grid``, destinations the ranks of ``new_grid`` -- the
+    rank sets may grow, shrink, or be disjoint.  A rank in only one of
+    the two grids plays only that side's role.  Defaults to the array's
+    own grid (the classic same-grid relayout).
+
     Because per-dimension ownership is independent, every intersection
     is a box product of per-dimension index-list intersections -- the
     same machinery the doall read analysis uses.
@@ -543,64 +571,84 @@ def repartition_pieces(array, new_dist, rank: int | None = None):
     from repro.compiler.commgen import local_positions
 
     grid = array.grid
+    to_grid = new_grid if new_grid is not None else grid
     old = array.dist
-    ranks = grid.linear
+    src_ranks = grid.linear
+    dst_ranks = to_grid.linear
 
     owned_cache: dict[tuple, list] = {}
 
-    def owned(dist, r):
-        key = (id(dist), r)
+    def owned(dist, g, r):
+        key = (id(dist), id(g), r)
         if key not in owned_cache:
-            owned_cache[key] = dist.owned_lists(grid.coords_of(r))
+            owned_cache[key] = dist.owned_lists(g.coords_of(r))
         return owned_cache[key]
 
     def locs(dist, lists):
         return np.ix_(*local_positions(dist, lists))
 
     if old.replicated:
-        # every rank already stores the full array: the relayout is a
-        # message-free local re-slicing on each destination
-        for dst in ranks if rank is None else (rank,):
-            box = owned(new_dist, dst)
-            yield dst, dst, locs(old, box), locs(new_dist, box)
+        # every rank of the old grid already stores the full array: a
+        # destination that is also a source re-slices locally; a
+        # destination new to the array is fed by one canonical source
+        # (the first old rank), so each element still moves exactly
+        # once per destination
+        for dst in dst_ranks:
+            src = dst if grid.contains(dst) else src_ranks[0]
+            if rank is not None and rank not in (src, dst):
+                continue
+            box = owned(new_dist, to_grid, dst)
+            yield src, dst, locs(old, box), locs(new_dist, box)
         return
 
     if rank is None:
-        pairs = ((src, dst) for dst in ranks for src in ranks)
+        pairs = ((src, dst) for dst in dst_ranks for src in src_ranks)
     else:
-        pairs = itertools.chain(
-            ((src, rank) for src in ranks),
-            ((rank, dst) for dst in ranks if dst != rank),
+        recv_side = (
+            ((src, rank) for src in src_ranks) if to_grid.contains(rank) else ()
         )
+        send_side = (
+            ((rank, dst) for dst in dst_ranks if dst != rank or not to_grid.contains(rank))
+            if grid.contains(rank) else ()
+        )
+        pairs = itertools.chain(recv_side, send_side)
     for src, dst in pairs:
-        inter = intersect_lists(owned(new_dist, dst), owned(old, src))
+        inter = intersect_lists(
+            owned(new_dist, to_grid, dst), owned(old, grid, src)
+        )
         if inter is None:
             continue
         yield src, dst, locs(old, inter), locs(new_dist, inter)
 
 
-def build_repartition_schedule(array, new_dist, rank: int, group=None) -> TransferSchedule:
+def build_repartition_schedule(
+    array, new_dist, rank: int, group=None, new_grid=None,
+) -> TransferSchedule:
     """Build one rank's repartition TransferSchedule (static, no messages).
 
     Unlike gathers, repartitions need no inspection round: both layouts
     are globally known, so every rank derives its own sends, receives,
     and local move deterministically.  Build and replay therefore have
     identical wire behavior -- caching saves the derivation work, not a
-    protocol round.
+    protocol round.  ``new_grid`` builds the inter-grid form: ``rank``
+    may belong to either grid (or both) and gets only that side's moves.
     """
     _check_repartitionable(array)
+    to_grid = new_grid if new_grid is not None else array.grid
     sched = TransferSchedule(
         "repartition",
-        key=repartition_key(array, new_dist, rank),
+        key=repartition_key(array, new_dist, rank, new_grid=to_grid),
         rank=rank,
         grid=array.grid,
+        to_grid=to_grid,
         epoch=None,
         from_spec=array.dist.spec_key(),
         to_spec=new_dist.spec_key(),
         group=group,
         uid_chain=uid_chain(array),
     )
-    for src, dst, src_locs, dst_locs in repartition_pieces(array, new_dist, rank=rank):
+    pieces = repartition_pieces(array, new_dist, rank=rank, new_grid=to_grid)
+    for src, dst, src_locs, dst_locs in pieces:
         if src == rank and dst == rank:
             sched.self_src = src_locs
             sched.self_dst = dst_locs
@@ -611,7 +659,15 @@ def build_repartition_schedule(array, new_dist, rank: int, group=None) -> Transf
     return sched
 
 
-def execute_repartition(ctx, array, sched: TransferSchedule, new_dist, tag=None):
+def _no_write(idx, values):  # pragma: no cover - guarded by piece derivation
+    raise ValidationError(
+        "repartition schedule delivered values to a rank outside the "
+        "destination grid"
+    )
+
+
+def execute_repartition(ctx, array, sched: TransferSchedule, new_dist, tag=None,
+                        new_grid=None):
     """Collective executor of one rank's share of a repartition.
 
     Sends this rank's old-block intersections (snapshotted by the Send
@@ -620,21 +676,33 @@ def execute_repartition(ctx, array, sched: TransferSchedule, new_dist, tag=None)
     staging protocol: the layout swap (and the comm-epoch bump that
     invalidates gather schedules and doall plans) happens exactly once,
     after a commit barrier guarantees every rank has finished reading
-    its old block.  Every rank of ``array.grid`` must call this.
+    its old block.
+
+    With ``new_grid`` the repartition is inter-grid: ranks of the old
+    grid read and send, ranks of the new grid allocate and stage
+    new-layout blocks, and the commit barrier spans the *union* of the
+    two rank sets -- every rank of either grid must call this.
     """
     sched.check_replayable(array)
     me = ctx.rank
+    to_grid = new_grid if new_grid is not None else array.grid
+    union = array.grid.union(to_grid)
     if tag is None:
-        tag = ctx.next_tag(array.grid)
-    old_block = array.local(me)
-    coords = array.grid.coords_of(me)
-    new_block = np.zeros(new_dist.local_shape(coords), dtype=array.dtype)
+        tag = ctx.next_tag(union)
+    old_block = array.local(me) if array.grid.contains(me) else None
+    if to_grid.contains(me):
+        coords = to_grid.coords_of(me)
+        new_block = np.zeros(new_dist.local_shape(coords), dtype=array.dtype)
+        write = new_block.__setitem__
+    else:
+        new_block = None
+        write = _no_write
 
     yield from execute_transfer(
         ctx,
         sched,
         read=lambda locs: np.ascontiguousarray(old_block[locs]),
-        write=new_block.__setitem__,
+        write=write,
         tag=tag,
     )
 
@@ -642,9 +710,10 @@ def execute_repartition(ctx, array, sched: TransferSchedule, new_dist, tag=None)
     # guards against tag reuse across launches, the tag against a rank
     # racing into the next repartition before slower ranks commit this one
     token = (getattr(ctx, "run_id", None), tag)
-    array._stage_repartition(me, new_block, token)
-    yield Barrier(group=tuple(array.grid.linear), tag=(tag, "commit"))
-    array._commit_repartition(new_dist, token)
+    if new_block is not None:
+        array._stage_repartition(me, new_block, token)
+    yield Barrier(group=tuple(union.linear), tag=(tag, "commit"))
+    array._commit_repartition(new_dist, token, new_grid=to_grid)
 
 
 # ----------------------------------------------------------------------
@@ -969,24 +1038,35 @@ class ScheduleCache:
         self.store(sched)
         return values
 
-    def repartition(self, ctx, array, dist):
+    def repartition(self, ctx, array, dist, new_grid=None):
         """Collective cached repartition (generator; use ``yield from``).
 
         Re-lays ``array`` out under ``dist`` with owner-to-owner
         messages only, building (miss) or replaying (hit) this rank's
         repartition schedule.  Because build and replay have identical
         wire behavior, the verdict is per-rank -- no collective decision
-        protocol is needed.  Every rank of ``array.grid`` must call
-        this; the layout swap commits once, behind a barrier.
+        protocol is needed.
+
+        ``new_grid`` moves the array to a *different* grid (grow or
+        shrink the rank set -- the elastic-morphing primitive); the
+        call is then collective over the union of the two grids, and the
+        schedule caches under the (from-grid+specs, to-grid+specs) pair
+        so morphing back replays.  Without it, every rank of
+        ``array.grid`` must call this.  The layout swap commits once,
+        behind a barrier.
         """
         from repro.lang.dist import Distribution
 
         _check_repartitionable(array)
-        new_dist = Distribution(dist, array.shape, array.grid.shape)
+        to_grid = new_grid if new_grid is not None else array.grid
+        new_dist = Distribution(dist, array.shape, to_grid.shape)
         me = ctx.rank
-        tag = ctx.next_tag(array.grid)
-        key = repartition_key(array, new_dist, me)
+        union = array.grid.union(to_grid)
+        tag = ctx.next_tag(union)
+        key = repartition_key(array, new_dist, me, new_grid=to_grid)
         label = f"{array.dist.spec_key()}->{new_dist.spec_key()}"
+        if to_grid.key() != array.grid.key():
+            label += f" @grid{array.grid.shape}->{to_grid.shape}"
         with self._lock:
             sched = self._entries.get(key)
             if sched is not None:
@@ -1002,13 +1082,16 @@ class ScheduleCache:
         else:
             yield from _mark(ctx, "commsched/miss", ("repartition", array.name, label))
             sched = build_repartition_schedule(
-                array, new_dist, me,
+                array, new_dist, me, new_grid=to_grid,
                 # one group per collective call: run id + tag identify it
-                group=(array.uid, array.grid.key(), sched_group_specs(array, new_dist),
+                group=(array.uid, array.grid.key(), to_grid.key(),
+                       sched_group_specs(array, new_dist),
                        getattr(ctx, "run_id", None), tag),
             )
             self.store(sched)
-        yield from execute_repartition(ctx, array, sched, new_dist, tag=tag)
+        yield from execute_repartition(
+            ctx, array, sched, new_dist, tag=tag, new_grid=to_grid
+        )
         # this cache just watched the layout change: purge its own
         # orphaned layout-dependent schedules (their keys embed the old
         # epoch, so they could never hit again -- this stops the leak).
@@ -1051,14 +1134,16 @@ def cached_inspector_gather(ctx, grid, array, indices, cache: ScheduleCache | No
     )
 
 
-def cached_repartition(ctx, array, dist, cache: ScheduleCache | None = None):
+def cached_repartition(ctx, array, dist, cache: ScheduleCache | None = None,
+                       new_grid=None):
     """Cached collective repartition through the default cache.
 
     See :meth:`ScheduleCache.repartition`.  Generator; ``yield from`` it
-    on every rank of ``array.grid``.
+    on every rank of ``array.grid`` (with ``new_grid``: every rank of
+    the union of the two grids).
     """
     return (cache if cache is not None else DEFAULT_CACHE).repartition(
-        ctx, array, dist
+        ctx, array, dist, new_grid=new_grid
     )
 
 

@@ -1,0 +1,394 @@
+"""Elastic processor-set morphing and durable session state.
+
+The paper's claim is that one program runs unchanged across machine
+layouts because communication is compiled from the distribution clauses;
+this module extends the claim to layouts that change *mid-run* -- the
+Varuna-style elasticity a long-lived deployment needs when capacity
+appears or vanishes.  Three primitives, all built on machinery that
+already existed:
+
+* :func:`checkpoint` / :func:`restore` -- serialize a Session's run
+  state (array contents, layouts, grids, comm epochs, run history) into
+  a :class:`Checkpoint` and load it back, into the same Session or a
+  freshly compiled twin.  A restore that lands on the current layout is
+  a pure value write -- caches stay warm, so replay after restore is
+  bit-identical to the uninterrupted run; a restore onto a different
+  layout re-lays the arrays out and re-freezes the loop plans, the same
+  recompile-or-replay contract every run already honors.
+
+* :func:`morph` -- move a Session's live programs onto a *different*
+  processor grid (grow or shrink the rank set).  In-flight work is
+  drained (every program's run lock is held), multiprocessing worker
+  pools are quiesced so shared-memory blocks return to private storage,
+  every live array is repartitioned old-grid -> new-grid through the
+  cached inter-grid repartition path (one SPMD launch over the union of
+  the rank sets -- morphing back replays the same schedules), the loops
+  are rebuilt on the new grid, and their plans are re-frozen so the
+  first post-morph run is already a replay.  Worker pools respawn
+  lazily on the new rank set at the next multiprocessing run.
+
+Invariants, lifecycle, and failure modes are documented in
+``docs/elasticity.md``; the morph drill and the checkpoint round-trip
+property tests live in ``tests/elastic/``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from contextlib import ExitStack
+
+import numpy as np
+
+from repro.lang.doall import Doall, OnProc
+from repro.lang.procs import ProcessorGrid
+from repro.util.errors import ValidationError
+
+#: Checkpoint wire-format version; bump on incompatible layout changes.
+CHECKPOINT_VERSION = 1
+
+
+class Checkpoint:
+    """A Session's serialized run state.
+
+    Produced by :func:`checkpoint` / :meth:`repro.Session.checkpoint`;
+    consumed by :func:`restore`.  Holds, per live program, one snapshot
+    per storage array -- global values, per-dimension distribution
+    specs, owning grid, comm epoch -- plus the session's run counter
+    and trace history.  The whole object round-trips through
+    :meth:`to_bytes` / :meth:`from_bytes` (pickle: numpy blocks, dist
+    specs, grids, and traces are all plain data).
+
+    A checkpoint matches programs *structurally*: restore pairs the
+    target session's live programs with the snapshot's, in compile
+    order, and each program's arrays in loop-traversal order -- so a
+    checkpoint also restores into a fresh process that compiled the
+    same program (names and shapes are verified, not assumed).
+    """
+
+    def __init__(self, runs: int, history: list, programs: list):
+        self.version = CHECKPOINT_VERSION
+        #: session launch counter at capture time
+        self.runs = runs
+        #: traces of the session's launch history at capture time
+        self.history = history
+        #: one dict per live program: grid + ordered array snapshots
+        self.programs = programs
+
+    def to_bytes(self) -> bytes:
+        """Serialize (pickle); inverse of :meth:`from_bytes`."""
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Checkpoint":
+        ckpt = pickle.loads(data)
+        if not isinstance(ckpt, cls):
+            raise ValidationError(
+                f"not a Checkpoint: deserialized {type(ckpt).__name__}"
+            )
+        if ckpt.version != CHECKPOINT_VERSION:
+            raise ValidationError(
+                f"checkpoint version {ckpt.version} is not supported "
+                f"(this library writes version {CHECKPOINT_VERSION})"
+            )
+        return ckpt
+
+    def describe(self) -> dict:
+        """Summary for logs/benchmarks: counts, grids, total bytes."""
+        nbytes = sum(
+            snap["data"].nbytes
+            for state in self.programs for snap in state["arrays"]
+        )
+        return {
+            "version": self.version,
+            "runs": self.runs,
+            "programs": len(self.programs),
+            "arrays": sum(len(s["arrays"]) for s in self.programs),
+            "grids": [s["grid_shape"] for s in self.programs],
+            "nbytes": nbytes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        d = self.describe()
+        return (
+            f"Checkpoint(programs={d['programs']}, arrays={d['arrays']}, "
+            f"runs={d['runs']}, nbytes={d['nbytes']})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+
+
+def _storage_of(array):
+    """The block-owning array beneath ``array`` (sections peel off)."""
+    while not hasattr(array, "_blocks"):
+        array = array.base
+    return array
+
+
+def _loop_programs(session) -> list:
+    """The session's live programs, compile order; all must be loop
+    programs (parsub routines are opaque: no static arrays to capture,
+    no loops to retarget)."""
+    programs = session.live_programs()
+    for p in programs:
+        if p.routine is not None:
+            raise ValidationError(
+                "elastic operations need compiled loop programs; this "
+                "session holds an opaque parsub Program (wrap the state "
+                "it touches in a loop program, or checkpoint/morph a "
+                "session without it)"
+            )
+    return programs
+
+
+def _storage_arrays(program) -> list:
+    """Unique storage arrays of a loop program, loop-traversal order.
+
+    Deterministic by construction (loops and their array scans are
+    ordered), which is what lets a checkpoint restore into a different
+    process: both sides enumerate the same program the same way.
+    """
+    out, seen = [], set()
+    for loop in program.loops:
+        for arr in loop.arrays():
+            storage = _storage_of(arr)
+            if storage.uid not in seen:
+                seen.add(storage.uid)
+                out.append(storage)
+    return out
+
+
+def _refuse_sections(program) -> None:
+    for loop in program.loops:
+        for arr in loop.arrays():
+            if getattr(arr, "base", None) is not None:
+                raise ValidationError(
+                    f"cannot morph a program over array Sections "
+                    f"({arr.name!r} views another array's storage): a "
+                    "section snapshots its base's layout, which the morph "
+                    "replaces -- run on the base arrays and re-slice after"
+                )
+
+
+def _all_locks(programs) -> ExitStack:
+    """Drain in-flight work: hold every program's run lock at once.
+
+    Runs of one Program serialize on its lock, so acquiring all of them
+    guarantees no sweep is mid-flight while state is captured or moved.
+    Acquisition is in compile order (every caller uses the same order,
+    so two concurrent elastic operations cannot deadlock each other).
+    """
+    stack = ExitStack()
+    for p in programs:
+        stack.enter_context(p.lock)
+    return stack
+
+
+def _grid_of(state: dict) -> ProcessorGrid:
+    return ProcessorGrid(state["grid_shape"], ranks=state["grid_ranks"])
+
+
+def _same_grid(a: ProcessorGrid, b: ProcessorGrid) -> bool:
+    return a.shape == b.shape and a.key() == b.key()
+
+
+def _retarget_loop(loop: Doall, new_grid: ProcessorGrid) -> Doall:
+    """Rebuild one loop on a new grid (ranges/body/on reused).
+
+    ``Doall.ranges`` are normalized inclusive ``(lo, hi, step)`` triples
+    -- re-passable as-is.  An ``Owner`` clause follows its array (which
+    has already been repartitioned onto the new grid); an ``OnProc``
+    clause is re-pinned to the new grid, which requires matching ndim.
+    """
+    on = loop.on
+    if isinstance(on, OnProc):
+        on = OnProc(new_grid, on.coord_exprs)
+    return Doall(loop.vars, loop.ranges, on, loop.body, new_grid)
+
+
+def _refreeze(session, program, new_grid: ProcessorGrid | None = None) -> None:
+    """Re-derive a program's frozen plans (the "recompile" step).
+
+    With ``new_grid``, the loops are first rebuilt on it.  Freezing at
+    retarget time mirrors what ``repro.compile`` does at compile time,
+    so the first run after a morph/restore is already an all-hit replay
+    -- trace-identical to any later run.
+    """
+    if new_grid is not None and not _same_grid(program.grid, new_grid):
+        program.loops = [_retarget_loop(lp, new_grid) for lp in program.loops]
+        program.grid = new_grid
+    for loop in program.loops:
+        session.plans.analysis(loop)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / restore
+# ----------------------------------------------------------------------
+
+
+def checkpoint(session) -> Checkpoint:
+    """Capture ``session``'s run state into a :class:`Checkpoint`.
+
+    Collective over nothing -- this is a host-side snapshot taken with
+    every live program's run lock held (no sweep can be mid-flight).
+    Array values are captured as global numpy arrays, layouts as
+    (grid, per-dimension specs, comm epoch); bindings are state the
+    arrays already hold, so they are captured with the values.
+    """
+    programs = _loop_programs(session)
+    with _all_locks(programs):
+        states = []
+        for p in programs:
+            snaps = []
+            for arr in _storage_arrays(p):
+                snaps.append({
+                    "name": arr.name,
+                    "shape": arr.shape,
+                    "dtype": str(arr.dtype),
+                    "specs": arr.dist.specs,
+                    "spec_key": arr.dist.spec_key(),
+                    "grid_shape": arr.grid.shape,
+                    "grid_ranks": np.asarray(arr.grid.ranks),
+                    "comm_epoch": arr.comm_epoch,
+                    "data": arr.to_global(),
+                })
+            states.append({
+                "grid_shape": p.grid.shape,
+                "grid_ranks": np.asarray(p.grid.ranks),
+                "arrays": snaps,
+            })
+        return Checkpoint(
+            runs=session.runs, history=list(session.history), programs=states
+        )
+
+
+def restore(session, ckpt: Checkpoint) -> None:
+    """Load a :class:`Checkpoint` back into ``session``.
+
+    Programs pair up in compile order, arrays in loop-traversal order;
+    names and shapes are verified.  Arrays whose live layout already
+    matches the snapshot get a pure value write -- no epoch bump, so
+    every warm schedule and plan keeps replaying and the next run is
+    bit-identical to the uninterrupted one.  Arrays on a different
+    layout (or grid) are re-laid out to the snapshot's first, and the
+    owning program's plans are re-frozen against the restored layout --
+    the recompile half of recompile-or-replay.  The session's run
+    counter and trace history are restored too.
+    """
+    if not isinstance(ckpt, Checkpoint):
+        raise ValidationError(f"restore() needs a Checkpoint, got {type(ckpt).__name__}")
+    programs = _loop_programs(session)
+    if len(programs) != len(ckpt.programs):
+        raise ValidationError(
+            f"checkpoint holds {len(ckpt.programs)} program(s) but the "
+            f"session has {len(programs)} live one(s); restore needs a "
+            "structurally matching session"
+        )
+    with _all_locks(programs):
+        for p, state in zip(programs, ckpt.programs):
+            arrays = _storage_arrays(p)
+            if len(arrays) != len(state["arrays"]):
+                raise ValidationError(
+                    f"program array count mismatch: checkpoint has "
+                    f"{len(state['arrays'])}, live program has {len(arrays)}"
+                )
+            changed = False
+            for arr, snap in zip(arrays, state["arrays"]):
+                if arr.name != snap["name"] or arr.shape != tuple(snap["shape"]):
+                    raise ValidationError(
+                        f"array mismatch: checkpoint snapshot "
+                        f"{snap['name']!r}{tuple(snap['shape'])} does not "
+                        f"match live array {arr.name!r}{arr.shape}"
+                    )
+                agrid = _grid_of(snap)
+                if not _same_grid(arr.grid, agrid) \
+                        or arr.dist.spec_key() != snap["spec_key"]:
+                    arr.redistribute(snap["specs"], grid=agrid)
+                    session.cache.invalidate_array(arr)
+                    changed = True
+                arr.from_global(snap["data"])
+            target = _grid_of(state)
+            if changed or not _same_grid(p.grid, target):
+                _refreeze(session, p, target)
+        with session._lock:
+            session.runs = ckpt.runs
+            session.history = list(ckpt.history)[-session.max_history:]
+
+
+# ----------------------------------------------------------------------
+# Morph
+# ----------------------------------------------------------------------
+
+
+def morph(session, new_grid: ProcessorGrid, *, machine=None):
+    """Move ``session``'s live programs onto ``new_grid``, preserving state.
+
+    The elastic drill: (1) drain -- every live program's run lock is
+    taken, so no sweep is in flight; (2) quiesce -- multiprocessing
+    worker pools are closed, returning adopted shared-memory blocks to
+    private storage (pools respawn lazily on the new rank set at the
+    next run); (3) repartition -- every live storage array moves
+    old-grid -> new-grid keeping its per-dimension specs, as one SPMD
+    launch over the union of the rank sets through the cached
+    inter-grid repartition path (morphing back replays the same
+    schedules); (4) retarget -- loops are rebuilt on ``new_grid`` and
+    their plans re-frozen, so the first post-morph run is an all-hit
+    replay, bit-identical in results and trace to an uninterrupted run
+    on ``new_grid``.
+
+    Returns the repartition launch's trace (``None`` when every array
+    was already on ``new_grid``).  Arrays keep their per-dimension
+    distribution kinds; a grid whose ndim differs from the old one
+    raises (per-dim specs cannot be re-bound), as does a program over
+    array sections -- see ``docs/elasticity.md`` for the failure modes.
+    """
+    programs = _loop_programs(session)
+    for p in programs:
+        _refuse_sections(p)
+    mach = machine if machine is not None else session.machine
+    if mach is None:
+        mach = getattr(session.backend, "machine", None)
+    if mach is None:
+        raise ValidationError(
+            "no machine: give the Session one or pass machine= to morph()"
+        )
+
+    with _all_locks(programs):
+        session.close_backend()
+
+        moves, seen = [], set()
+        for p in programs:
+            for arr in _storage_arrays(p):
+                if arr.uid in seen:
+                    continue
+                seen.add(arr.uid)
+                if _same_grid(arr.grid, new_grid):
+                    continue
+                moves.append((arr, arr.dist.specs, arr.grid.union(new_grid)))
+
+        trace = None
+        if moves:
+            launch_grid = new_grid
+            for _arr, _specs, scope in moves:
+                launch_grid = launch_grid.union(scope)
+
+            def _relayout(ctx):
+                for arr, specs, scope in moves:
+                    if scope.contains(ctx.rank):
+                        yield from ctx.redistribute(arr, specs, grid=new_grid)
+
+            trace = session.run(
+                _relayout, machine=mach, grid=launch_grid, backend="simulator"
+            )
+
+        for p in programs:
+            _refreeze(session, p, new_grid)
+        with session._lock:
+            if session.grid is not None:
+                session.grid = new_grid
+    return trace
+
+
+__all__ = ["Checkpoint", "checkpoint", "restore", "morph", "CHECKPOINT_VERSION"]

@@ -243,7 +243,7 @@ class DistArray(BaseDistArray):
                 self.dist.local_shape(coords), dtype=self.dtype
             )
 
-    def redistribute(self, dist) -> None:
+    def redistribute(self, dist, grid: ProcessorGrid | None = None) -> None:
         """Re-lay the array out with a new distribution, preserving values.
 
         The paper's arrays are statically distributed, but schedule
@@ -252,6 +252,10 @@ class DistArray(BaseDistArray):
         the new distribution and :meth:`invalidate_schedules` bumps the
         comm epoch so every cached gather schedule and doall plan keyed
         on the old layout is rebuilt on next use.
+
+        ``grid`` moves the array to a *different* processor grid in the
+        same step (the elastic grow/shrink primitive): the new blocks
+        live on ``grid``'s ranks, assembled from the old grid's blocks.
 
         Data movement is owner-to-owner: each new block is assembled
         from the intersections of the old blocks with it (the same
@@ -264,15 +268,18 @@ class DistArray(BaseDistArray):
         """
         from repro.compiler.commsched import repartition_pieces
 
-        new_dist = Distribution(dist, self.shape, self.grid.shape)
+        new_grid = grid if grid is not None else self.grid
+        new_dist = Distribution(dist, self.shape, new_grid.shape)
         new_blocks = {
             rank: np.zeros(
-                new_dist.local_shape(self.grid.coords_of(rank)), dtype=self.dtype
+                new_dist.local_shape(new_grid.coords_of(rank)), dtype=self.dtype
             )
-            for rank in self.grid.linear
+            for rank in new_grid.linear
         }
-        for src, dst, src_locs, dst_locs in repartition_pieces(self, new_dist):
+        pieces = repartition_pieces(self, new_dist, new_grid=new_grid)
+        for src, dst, src_locs, dst_locs in pieces:
             new_blocks[dst][dst_locs] = self._blocks[src][src_locs]
+        self.grid = new_grid
         self.dist = new_dist
         self._blocks = new_blocks
         self.invalidate_schedules()
@@ -296,17 +303,22 @@ class DistArray(BaseDistArray):
             staging = self._staged_blocks = {}
         staging.setdefault(token, {})[rank] = block
 
-    def _commit_repartition(self, new_dist: Distribution, token) -> None:
+    def _commit_repartition(
+        self, new_dist: Distribution, token,
+        new_grid: ProcessorGrid | None = None,
+    ) -> None:
         staging = getattr(self, "_staged_blocks", None)
         staged = staging.pop(token, None) if staging is not None else None
         if staged is None:
             return  # an earlier-resumed rank already committed this call
-        if len(staged) != self.grid.size:
+        grid = new_grid if new_grid is not None else self.grid
+        if len(staged) != grid.size:
             raise ValidationError(
                 f"repartition of {self.name!r} committed with "
-                f"{len(staged)}/{self.grid.size} ranks staged; every rank "
-                "of the array's grid must run the collective repartition"
+                f"{len(staged)}/{grid.size} ranks staged; every rank "
+                "of the destination grid must run the collective repartition"
             )
+        self.grid = grid
         self.dist = new_dist
         self._blocks = staged
         self.invalidate_schedules()

@@ -214,7 +214,7 @@ class KaliCtx:
 
     # -- redistribution ----------------------------------------------------
 
-    def redistribute(self, array, dist, cache=None):
+    def redistribute(self, array, dist, cache=None, grid=None):
         """Collective owner-to-owner repartition of ``array`` to ``dist``.
 
         Every rank of ``array.grid`` must call this (SPMD discipline).
@@ -226,6 +226,13 @@ class KaliCtx:
         this context's Session cache (for a session-less context, the
         process-wide :data:`repro.compiler.commsched.DEFAULT_CACHE`).
         Yields machine ops (use ``yield from``).
+
+        ``grid`` additionally moves the array to a *different*
+        processor grid (grow or shrink the rank set -- the elastic
+        morphing primitive, see :mod:`repro.elastic`); the call is then
+        collective over the union of the old and new rank sets, and the
+        cached schedule keys on the (from-grid+specs, to-grid+specs)
+        pair so morphing back is a replay.
 
         >>> import numpy as np
         >>> from repro import DistArray, ProcessorGrid, Session
@@ -248,6 +255,7 @@ class KaliCtx:
         return cached_repartition(
             self, array, dist,
             cache=self._schedule_cache(cache, op="redistribute"),
+            new_grid=grid,
         )
 
     # -- collectives over grids -------------------------------------------

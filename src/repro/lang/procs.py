@@ -125,3 +125,23 @@ class ProcessorGrid:
 
     def is_subset_of(self, other: "ProcessorGrid") -> bool:
         return set(self.linear) <= set(other.linear)
+
+    def union(self, other: "ProcessorGrid") -> "ProcessorGrid":
+        """Smallest grid containing both rank sets (1-D, sorted ranks).
+
+        The launch grid of an inter-grid collective: a repartition
+        between two grids needs every rank of either to participate, so
+        the union is what the morphing machinery runs tags and barriers
+        over.  When the rank sets are equal the receiver is returned
+        as-is (same key, same tag counters).
+
+        >>> ProcessorGrid((2, 2)).union(ProcessorGrid((2,))).shape
+        (4,)
+        >>> ProcessorGrid((2,)).union(ProcessorGrid((2,))).shape
+        (2,)
+        """
+        mine, theirs = set(self.linear), set(other.linear)
+        if mine == theirs:
+            return self
+        merged = sorted(mine | theirs)
+        return ProcessorGrid((len(merged),), ranks=np.asarray(merged, dtype=np.int64))

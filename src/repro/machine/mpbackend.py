@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import os
 import traceback
 import weakref
 from collections import OrderedDict
@@ -71,6 +72,34 @@ _ALL_POOLS: "weakref.WeakSet[_WorkerPool]" = weakref.WeakSet()
 def _close_all_pools() -> None:  # pragma: no cover - interpreter exit
     for pool in list(_ALL_POOLS):
         pool.close()
+
+
+#: Test-only fault injection: ``{"rank": r, "sweep": s, "action": a}``
+#: makes worker ``r`` fail at the start of its ``s``-th sweep (counted
+#: across runs) -- ``"raise"`` raises inside the sweep driver (the
+#: worker reports a traceback), ``"exit"`` kills the process outright
+#: (``os._exit``, no goodbye on the pipe).  Workers inherit the value
+#: at fork time, so set it *before* the pool spawns and clear it after;
+#: ``None`` (the default) is dead code on the hot path.
+_FAULT_INJECTION: dict | None = None
+
+
+def _maybe_inject_fault(rank: int, sweeps_done: int) -> None:
+    spec = _FAULT_INJECTION
+    if not spec:
+        return
+    target = spec.get("rank")
+    if rank != target and not (
+        not isinstance(target, int) and rank in target
+    ):
+        return
+    if sweeps_done != spec.get("sweep", 0):
+        return
+    if spec.get("action") == "exit":
+        os._exit(1)
+    raise RuntimeError(
+        f"injected fault on rank {rank} at sweep {sweeps_done}"
+    )
 
 
 class MultiprocessingBackend(Backend):
@@ -473,6 +502,7 @@ def _run_step(step: _LoopStep, barrier) -> None:
 
 def _worker_main(rank: int, conn, barrier, steps: list[_LoopStep]) -> None:
     """Persistent rank worker: drive sweeps on command until told to exit."""
+    sweeps_done = 0
     while True:
         try:
             msg = conn.recv()
@@ -485,8 +515,10 @@ def _worker_main(rank: int, conn, barrier, steps: list[_LoopStep]) -> None:
             continue
         try:
             for _ in range(msg[1]):
+                _maybe_inject_fault(rank, sweeps_done)
                 for step in steps:
                     _run_step(step, barrier)
+                sweeps_done += 1
             conn.send(("ok", rank))
         except Exception:
             # break the other ranks out of their barriers, then report
@@ -612,27 +644,47 @@ class _WorkerPool:
         )
 
     def run_sweeps(self, iters: int) -> None:
-        """Execute ``iters`` full sweeps (all loops, in order) on all ranks."""
+        """Execute ``iters`` full sweeps (all loops, in order) on all ranks.
+
+        Completions are collected round-robin over every outstanding
+        rank, never blocking on one: a rank killed outright (e.g. by
+        the OOM killer, or the fault-injection tests' ``os._exit``)
+        leaves its *peers* stuck in the sweep barrier, so waiting on
+        ranks in order would deadlock on the first stuck peer and never
+        reach the dead one.  The first death detected aborts the
+        barrier, which breaks the peers out (they report
+        BrokenBarrierError tracebacks); every failure is then raised as
+        one MachineError with per-rank sections.
+        """
         if self._closed:
             raise MachineError("worker pool is closed")
         for conn in self._pipes.values():
             conn.send(("run", iters))
         failures: list[tuple[int, str]] = []
-        for rank, conn in self._pipes.items():
-            while True:
-                if conn.poll(1.0):
-                    msg = conn.recv()
-                    if msg[0] == "err":
-                        failures.append((rank, msg[2]))
-                    break
-                if not self._procs[rank].is_alive():
+        pending = dict(self._pipes)
+        while pending:
+            for rank in list(pending):
+                conn = pending[rank]
+                if conn.poll(0.05):
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        # poll() also returns True on EOF: the worker
+                        # died between finishing a send and our read,
+                        # or without sending at all
+                        failures.append(
+                            (rank, "worker process died (pipe closed)")
+                        )
+                        self._abort_barrier()
+                    else:
+                        if msg[0] == "err":
+                            failures.append((rank, msg[2]))
+                    del pending[rank]
+                elif not self._procs[rank].is_alive():
                     failures.append((rank, "worker process died"))
                     # release peers stuck waiting for the dead rank
-                    try:
-                        self._barrier.abort()
-                    except Exception:  # pragma: no cover - defensive
-                        pass
-                    break
+                    self._abort_barrier()
+                    del pending[rank]
         if failures:
             self.close()
             detail = "\n".join(
@@ -641,6 +693,12 @@ class _WorkerPool:
             raise MachineError(
                 "multiprocessing backend worker failure:\n" + detail
             )
+
+    def _abort_barrier(self) -> None:
+        try:
+            self._barrier.abort()
+        except Exception:  # pragma: no cover - defensive
+            pass
 
     # -- teardown ----------------------------------------------------------
 

@@ -314,6 +314,33 @@ class Server:
                 del self._latencies[: -_MAX_LATENCIES]
         return out
 
+    # -- elasticity --------------------------------------------------------
+
+    def morph(self, program: Program, new_grid: ProcessorGrid) -> Trace | None:
+        """Morph ``program``'s session onto ``new_grid`` with the pool
+        quiesced.
+
+        Checks out *every* pooled session first (so no request is
+        mid-flight anywhere -- ``acquire`` blocks until in-flight
+        requests drain), shuts their multiprocessing worker pools down
+        (shared-memory blocks return to private storage before layouts
+        change), then runs :meth:`repro.Session.morph` on the program's
+        own session.  The pool is released afterwards; subsequent
+        requests replay on the new grid, and worker pools respawn
+        lazily.  Returns the repartition trace (``None`` when nothing
+        moved).
+        """
+        if self._closed:
+            raise ValidationError("Server is closed")
+        held = [self.pool.acquire() for _ in range(self.pool.size)]
+        try:
+            for s in held:
+                s.close_backend()
+            return program.session.morph(new_grid)
+        finally:
+            for s in held:
+                self.pool.release(s)
+
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> dict:

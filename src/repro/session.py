@@ -54,6 +54,7 @@ True
 from __future__ import annotations
 
 import threading
+import weakref
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
@@ -172,6 +173,11 @@ class Session:
         # worker thread, but a Session is also safe to share) would
         # corrupt the log
         self._lock = threading.RLock()
+        #: weak refs to every Program compiled into this Session, in
+        #: compile order -- the program set the elastic operations
+        #: (checkpoint/restore/morph) act on.  Weak so a discarded
+        #: Program doesn't pin its arrays for the Session's lifetime.
+        self._programs: list = []
 
     # -- launching ---------------------------------------------------------
 
@@ -323,6 +329,62 @@ class Session:
         See the module-level :func:`compile` for the accepted forms.
         """
         return compile(obj, session=self, grid=grid)
+
+    # -- elasticity --------------------------------------------------------
+
+    def _register_program(self, program: "Program") -> None:
+        with self._lock:
+            self._programs.append(weakref.ref(program))
+
+    def live_programs(self) -> list:
+        """Programs compiled into this Session that are still alive,
+        compile order (dead weak refs are pruned as a side effect)."""
+        with self._lock:
+            out, refs = [], []
+            for ref in self._programs:
+                p = ref()
+                if p is not None:
+                    refs.append(ref)
+                    out.append(p)
+            self._programs = refs
+            return out
+
+    def close_backend(self) -> None:
+        """Shut down this Session's multiprocessing worker pools.
+
+        Closing un-adopts every shared-memory block back into private
+        array storage, so array layouts may change safely afterwards;
+        pools respawn lazily at the next multiprocessing run.  Also
+        closes an explicitly-passed MultiprocessingBackend default.
+        """
+        from repro.machine.mpbackend import MultiprocessingBackend
+
+        with self._lock:
+            if self._mp_backend is not None:
+                self._mp_backend.close()
+                self._mp_backend = None
+            if isinstance(self.backend, MultiprocessingBackend):
+                self.backend.close()
+
+    def checkpoint(self) -> "Any":
+        """Snapshot this Session's run state; see :func:`repro.checkpoint`."""
+        from repro.elastic import checkpoint
+
+        return checkpoint(self)
+
+    def restore(self, ckpt) -> None:
+        """Load a :class:`~repro.elastic.Checkpoint` back; see
+        :func:`repro.restore`."""
+        from repro.elastic import restore
+
+        restore(self, ckpt)
+
+    def morph(self, new_grid: ProcessorGrid, *, machine: Machine | None = None):
+        """Move this Session's live programs onto ``new_grid``; see
+        :func:`repro.morph`."""
+        from repro.elastic import morph
+
+        return morph(self, new_grid, machine=machine)
 
     # -- introspection -----------------------------------------------------
 
@@ -954,6 +1016,7 @@ def compile(
         )
     for loop in program.loops:
         session.plans.analysis(loop)  # freeze schedules at compile time
+    session._register_program(program)
     return program
 
 

@@ -1,0 +1,161 @@
+"""Property tests: elastic operations preserve bit-identity everywhere.
+
+Two families, mirroring ``tests/compiler/test_stepplan_property.py``:
+
+* checkpoint -> restore -> run is bit-identical to the uninterrupted
+  run -- results, full trace (messages with timings, marks, computes),
+  plan-accounting delta, and run counter -- swept over distributions
+  (block / cyclic / blockcyclic) x overlap on/off x stencil shapes;
+* a shrink + re-grow morph pair inserted at *any* point of a sweep
+  sequence leaves results bit-identical to the unmorphed run, and the
+  post-regrow run's trace matches an uninterrupted session's run on the
+  final grid -- swept over distributions x source/destination grid
+  sizes x morph points.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro import Machine, ProcessorGrid, Session
+from repro.lang import Assign, BlockCyclic, DistArray, Doall, Owner, loopvars
+
+
+def _dist_of(kind: str):
+    if kind.startswith("blockcyclic"):
+        return BlockCyclic(int(kind.rsplit("-", 1)[1]))
+    return kind
+
+
+def trace_sig(trace):
+    return (
+        [(m.src, m.dst, m.tag, m.nbytes, m.t_send, m.t_arrive, m.t_recv)
+         for m in trace.messages],
+        [(m.proc, m.label, m.payload) for m in trace.marks],
+        [(c.proc, c.start, c.end, c.label) for c in trace.computes],
+    )
+
+
+def build_program(p, n, kind, off_l, off_r, seed):
+    grid = ProcessorGrid((p,))
+    X = DistArray((n,), grid, dist=(_dist_of(kind),), name="X")
+    Y = DistArray((n,), grid, dist=(_dist_of(kind),), name="Y")
+    rng = np.random.default_rng(seed)
+    (i,) = loopvars("i")
+    lo, hi = off_l, n - 1 - off_r
+    loop = Doall(
+        vars=(i,), ranges=[(lo, hi)], on=Owner(Y, (i,)),
+        body=[Assign(Y[i], 0.5 * (X[i - off_l] + X[i + off_r]))],
+        grid=grid,
+    )
+    loop2 = Doall(
+        vars=(i,), ranges=[(lo, hi)], on=Owner(X, (i,)),
+        body=[Assign(X[i], Y[i] + 1.0)],
+        grid=grid,
+    )
+    sess = Session(Machine(n_procs=max(4, p)))
+    prog = repro.compile([loop, loop2], session=sess)
+    x0 = rng.standard_normal(n)
+    return sess, prog, x0
+
+
+@st.composite
+def checkpoint_cases(draw):
+    p = draw(st.integers(min_value=1, max_value=4))
+    n = draw(st.integers(min_value=max(10, 3 * p), max_value=28))
+    kind = draw(st.sampled_from(["block", "cyclic", "blockcyclic-2"]))
+    off_l = draw(st.integers(min_value=1, max_value=2))
+    off_r = draw(st.integers(min_value=1, max_value=2))
+    overlap = draw(st.booleans())
+    warm = draw(st.integers(min_value=1, max_value=3))
+    tail = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return p, n, kind, off_l, off_r, overlap, warm, tail, seed
+
+
+@given(checkpoint_cases())
+@settings(max_examples=20, deadline=None)
+def test_checkpoint_restore_run_bit_identical(case):
+    p, n, kind, off_l, off_r, overlap, warm, tail, seed = case
+    sess, prog, x0 = build_program(p, n, kind, off_l, off_r, seed)
+    prog.run(X=x0, iters=warm, overlap=overlap)
+    ck = sess.checkpoint()
+
+    s0 = sess.stats()
+    t_ref = prog.run(iters=tail, overlap=overlap)
+    ref = {name: a.to_global().copy() for name, a in prog.arrays.items()}
+    d_ref = {k: sess.stats()["plans"]["doall"][k] - s0["plans"]["doall"][k]
+             for k in ("hits", "misses")}
+    runs_ref = sess.stats()["runs"]
+
+    sess.restore(repro.Checkpoint.from_bytes(ck.to_bytes()))
+    s1 = sess.stats()
+    t_again = prog.run(iters=tail, overlap=overlap)
+
+    for name, want in ref.items():
+        np.testing.assert_array_equal(prog.arrays[name].to_global(), want)
+    assert trace_sig(t_again) == trace_sig(t_ref)
+    assert {k: sess.stats()["plans"]["doall"][k] - s1["plans"]["doall"][k]
+            for k in ("hits", "misses")} == d_ref
+    assert sess.stats()["runs"] == runs_ref
+
+
+@st.composite
+def morph_cases(draw):
+    p_hi = draw(st.sampled_from([2, 3, 4]))
+    p_lo = draw(st.integers(min_value=1, max_value=p_hi - 1))
+    n = draw(st.integers(min_value=max(10, 3 * p_hi), max_value=26))
+    kind = draw(st.sampled_from(["block", "cyclic", "blockcyclic-2"]))
+    total = draw(st.integers(min_value=2, max_value=5))
+    cut = draw(st.integers(min_value=1, max_value=total - 1))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return p_hi, p_lo, n, kind, total, cut, seed
+
+
+@given(morph_cases())
+@settings(max_examples=15, deadline=None)
+def test_morph_point_sweep_bit_identical(case):
+    p_hi, p_lo, n, kind, total, cut, seed = case
+    g_hi, g_lo = ProcessorGrid((p_hi,)), ProcessorGrid((p_lo,))
+
+    # uninterrupted reference on the final grid
+    ref_sess, ref_prog, x0 = build_program(p_hi, n, kind, 1, 1, seed)
+    ref_prog.run(X=x0, iters=cut)
+    ref_prog.run(iters=total - cut)
+    t_ref = ref_prog.run()
+    want = {name: a.to_global().copy() for name, a in ref_prog.arrays.items()}
+
+    # the elastic twin: shrink after `cut` sweeps, then re-grow
+    sess, prog, _ = build_program(p_hi, n, kind, 1, 1, seed)
+    prog.run(X=x0, iters=cut)
+    sess.morph(g_lo)
+    assert prog.grid.key() == g_lo.key()
+    prog.run(iters=total - cut)
+    sess.morph(g_hi)
+    t_final = prog.run()
+
+    for name, a in prog.arrays.items():
+        np.testing.assert_array_equal(a.to_global(), want[name])
+    assert trace_sig(t_final) == trace_sig(t_ref)
+
+
+@given(checkpoint_cases())
+@settings(max_examples=10, deadline=None)
+def test_checkpoint_survives_morph_round_trip(case):
+    """checkpoint -> morph away and back -> restore == never left."""
+    p, n, kind, off_l, off_r, overlap, warm, tail, seed = case
+    sess, prog, x0 = build_program(p, n, kind, off_l, off_r, seed)
+    prog.run(X=x0, iters=warm, overlap=overlap)
+    ck = sess.checkpoint()
+    t_ref = prog.run(iters=tail, overlap=overlap)
+    ref = prog.arrays["X"].to_global().copy()
+
+    other = ProcessorGrid((p + 1,)) if p < 4 else ProcessorGrid((2,))
+    sess.morph(other)
+    prog.run(iters=1)
+    sess.restore(ck)
+    assert prog.grid.key() == ProcessorGrid((p,)).key()
+    t_again = prog.run(iters=tail, overlap=overlap)
+    np.testing.assert_array_equal(prog.arrays["X"].to_global(), ref)
+    assert trace_sig(t_again) == trace_sig(t_ref)

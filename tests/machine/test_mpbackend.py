@@ -138,6 +138,95 @@ def test_mp_generic_run_delegates_to_inner_machine():
 
 
 # ----------------------------------------------------------------------
+# Fault injection: workers dying mid-sweep fail loudly and recover
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def inject_fault():
+    """Arm the backend's test-only fault hook; always disarmed after.
+
+    Workers inherit the spec at *fork* time, so arm before the first
+    run (or close the pool so it respawns armed).
+    """
+    from repro.machine import mpbackend
+
+    def arm(**spec):
+        mpbackend._FAULT_INJECTION = spec
+
+    yield arm
+    mpbackend._FAULT_INJECTION = None
+
+
+def test_worker_exception_reports_per_rank_traceback(inject_fault):
+    """A worker raising mid-sweep: MachineError with that rank's full
+    traceback, peers broken out of the barrier, nothing hangs."""
+    from repro.util.errors import MachineError
+
+    inject_fault(rank=1, sweep=1, action="raise")
+    prog, X = jacobi_program(12, 2, backend="multiprocessing")
+    with pytest.raises(MachineError) as exc_info:
+        prog.run(iters=3)
+    msg = str(exc_info.value)
+    assert "-- rank 1 --" in msg
+    assert "injected fault on rank 1 at sweep 1" in msg
+    assert "RuntimeError" in msg, "per-rank sections carry the traceback"
+
+
+def test_worker_killed_outright_fails_loudly_not_hangs(inject_fault):
+    """A worker dying without a goodbye (os._exit, as the OOM killer
+    would): the parent must detect the death, break the surviving
+    ranks out of the sweep barrier, and raise -- never deadlock."""
+    from repro.util.errors import MachineError
+
+    inject_fault(rank=1, sweep=0, action="exit")
+    prog, X = jacobi_program(12, 2, backend="multiprocessing")
+    with pytest.raises(MachineError) as exc_info:
+        prog.run(iters=2)
+    msg = str(exc_info.value)
+    assert "-- rank 1 --" in msg
+    assert "died" in msg
+
+
+def test_pool_respawns_cleanly_after_worker_failure(inject_fault):
+    """After a failure closed the pool, the next run respawns workers
+    and produces correct results (matching the simulator)."""
+    from repro.machine import mpbackend
+    from repro.util.errors import MachineError
+
+    inject_fault(rank=0, sweep=0, action="raise")
+    prog, X = jacobi_program(12, 2, backend="multiprocessing")
+    with pytest.raises(MachineError):
+        prog.run(iters=2)
+    backend = prog.session._mp_backend
+    failed_pool = backend._pool
+    assert failed_pool is None or not failed_pool.alive(), \
+        "a failed pool must be torn down"
+    mpbackend._FAULT_INJECTION = None
+
+    ref, Xr = jacobi_program(12, 2, backend=None)
+    ref.run(iters=2)
+    prog.run(iters=2)
+    assert backend._pool is not None and backend._pool.alive()
+    assert backend._pool is not failed_pool
+    np.testing.assert_array_equal(X.to_global(), Xr.to_global())
+    backend.close()
+
+
+def test_fault_hook_inert_when_disarmed():
+    """The hook's disarmed state is the hot path: no behavior change."""
+    from repro.machine.mpbackend import _maybe_inject_fault
+
+    _maybe_inject_fault(0, 0)  # no spec: returns without effect
+    pa, Xa = jacobi_program(12, 2, backend=None)
+    pb, Xb = jacobi_program(12, 2, backend="multiprocessing")
+    pa.run(iters=2)
+    pb.run(iters=2)
+    pb.session._mp_backend.close()
+    np.testing.assert_array_equal(Xa.to_global(), Xb.to_global())
+
+
+# ----------------------------------------------------------------------
 # Run ids: unique across processes (forked workers inherit the counter)
 # ----------------------------------------------------------------------
 

@@ -188,6 +188,89 @@ def test_concurrent_distinct_programs_share_schedules():
 
 
 # ----------------------------------------------------------------------
+# Edge cases: timeouts, close with queued work, failed-run fetch
+# ----------------------------------------------------------------------
+
+
+def test_acquire_timeout_expiry_releases_nothing():
+    """A timed-out acquire must not corrupt the free list: the session
+    still comes back to whoever holds it, and later acquires succeed."""
+    pool = SessionPool(1, machine=Machine(n_procs=2))
+    held = pool.acquire()
+    t0 = threading.Event()
+    results = {}
+
+    def contender():
+        t0.set()
+        try:
+            pool.acquire(timeout=0.05)
+            results["got"] = True
+        except TimeoutError as e:
+            results["err"] = str(e)
+
+    t = threading.Thread(target=contender)
+    t.start()
+    t0.wait()
+    t.join()
+    assert "err" in results and "pool of 1" in results["err"]
+    pool.release(held)
+    # the expiry left the pool consistent: checkout works again
+    with pool.session(timeout=0.5) as s:
+        assert s is held
+
+
+def test_server_close_drains_queued_submits():
+    """close() must let already-queued requests finish (drain, not
+    drop): every Future resolves, and submits after close are refused."""
+    with_results = []
+    srv = Server(machine=Machine(n_procs=2), threads=1)
+    prog = srv.compile(SRC)
+    futs = [srv.submit(prog, x=np.full(8, float(k))) for k in range(6)]
+    srv.close()
+    for f in futs:
+        with_results.append(f.result(timeout=30))
+    assert len(with_results) == 6
+    assert all(t.makespan() > 0.0 for t in with_results)
+    assert srv.stats()["requests"] == 6
+    with pytest.raises(ValidationError, match="closed"):
+        srv.submit(prog, x=np.zeros(8))
+    with pytest.raises(ValidationError, match="closed"):
+        srv.morph(prog, ProcessorGrid((2,)))
+
+
+def test_fetch_after_failed_run_sees_last_good_state():
+    """A failed request must neither wedge the pool nor tear the
+    program's arrays: fetch() returns the last successful run's state
+    and later requests succeed."""
+    with Server(machine=Machine(n_procs=2), threads=2) as srv:
+        prog = srv.compile(SRC)
+        srv.run(prog, x=np.arange(8.0))
+        good = srv.fetch(prog, "y")["y"]
+
+        fut = srv.submit(prog, nope=np.zeros(8))
+        with pytest.raises(ValidationError, match="unknown binding"):
+            fut.result()
+        assert srv.stats()["failures"] == 1
+        np.testing.assert_array_equal(srv.fetch(prog, "y")["y"], good)
+
+        # the pool session came back despite the failure
+        trace = srv.run(prog, x=np.arange(8.0))
+        assert trace.makespan() > 0.0
+        assert srv.stats()["requests"] == 3
+
+
+def test_fetch_unknown_array_raises_cleanly():
+    with Server(machine=Machine(n_procs=2), threads=1) as srv:
+        prog = srv.compile(SRC)
+        srv.run(prog, x=np.zeros(8))
+        with pytest.raises(KeyError):
+            srv.fetch(prog, "zz")
+        # the program lock was released by the failed fetch
+        assert prog.lock.acquire(timeout=1)
+        prog.lock.release()
+
+
+# ----------------------------------------------------------------------
 # Stress: one shared ScheduleCache under many threads
 # ----------------------------------------------------------------------
 

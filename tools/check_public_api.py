@@ -28,6 +28,7 @@ _NAME = re.compile(r"`([A-Za-z_][A-Za-z0-9_]*)`")
 REQUIRED = {
     "Session", "Program", "compile",
     "SessionPool", "Server", "run_batch", "BatchResult",
+    "Checkpoint", "checkpoint", "restore", "morph",
 }
 
 

@@ -1,16 +1,67 @@
-"""Shared reporting helper for the benchmark harness.
+"""Shared reporting helpers for the benchmark harness.
 
 Every benchmark regenerates one of the paper's figures or claims; the
 rows it produces are printed and also written under
 ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can reference
-stable artifacts.
+stable artifacts.  Machine-readable results go through
+:func:`write_json`, which pins the shared ``BENCH_*.json`` envelope so
+the files stop drifting in shape between benchmarks.
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Version of the shared BENCH_*.json envelope written by
+#: :func:`write_json`.  Every payload carries it as ``schema_version``.
+#: The envelope contract (bump this when it changes incompatibly):
+#:
+#: * ``schema_version`` (int)  -- this constant;
+#: * ``experiment`` (str)      -- the benchmark's experiment tag;
+#: * ``mode`` (str)            -- ``"smoke"`` or ``"full"``;
+#: * ``host`` (dict)           -- ``cpus``/``platform``/``python``;
+#: * ``gates`` (dict)          -- gate name -> bool (CI pass/fail);
+#: * ``notes`` (str)           -- how to read the numbers;
+#:
+#: plus benchmark-specific measurement fields alongside.
+BENCH_SCHEMA_VERSION = 1
+
+
+def host_info() -> dict:
+    """The ``host`` block of the shared BENCH_*.json envelope."""
+    import platform
+
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        cpus = os.cpu_count() or 1
+    return {
+        "cpus": cpus,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def write_json(name: str, payload: dict) -> str:
+    """Write ``benchmarks/results/BENCH_<name>.json`` (shared envelope).
+
+    Stamps ``schema_version`` (:data:`BENCH_SCHEMA_VERSION`) and fills
+    in ``host`` when the payload lacks one, so every benchmark's JSON
+    carries the same envelope; the payload's own fields are otherwise
+    written as given.  Returns the path.
+    """
+    payload = dict(payload)
+    payload.setdefault("schema_version", BENCH_SCHEMA_VERSION)
+    payload.setdefault("host", host_info())
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return path
 
 
 def report(experiment: str, title: str, lines: list[str]) -> str:

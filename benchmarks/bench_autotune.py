@@ -1,0 +1,223 @@
+"""AUTOTUNE -- calibrated prune-then-execute layout search, gated.
+
+``repro.tune`` claims it can pick a data layout for a program using a
+cost model *calibrated on this host* (``repro.calibrate``), executing
+only a pruned frontier of the enumerated candidates.  This benchmark
+runs that full loop -- calibrate, enumerate, predict, prune, execute,
+rank -- on two kernels (the paper's Jacobi stencil and a two-sweep
+ADI-style iteration) and enforces the three claims as hard gates, in
+smoke and full modes alike:
+
+* ``winner_not_slower``  -- the tuner's winner must measure no slower
+  than the program's own (seed) layout in host seconds: tuning can
+  refuse to move, but never picks a regression;
+* ``within_budget``      -- candidate executions stop at the declared
+  frontier budget, and that budget is at most ``FRONTIER_FRACTION``
+  (25 %) of the enumeration: the search is prune-then-execute, not
+  exhaustive;
+* ``error_bounded``      -- mean relative predicted-vs-measured error
+  over the executed frontier stays under ``ERROR_BOUND``: the
+  calibrated model is an honest host-seconds predictor, not a ranking
+  heuristic that happens to work.
+
+Output: ``benchmarks/results/AUTOTUNE.txt`` (human table) and
+``benchmarks/results/BENCH_autotune.json`` (see docs/tuning.md for how
+to read it).
+"""
+
+import math
+import os
+import sys
+
+import numpy as np
+
+try:
+    from benchmarks._report import RESULTS_DIR, report, write_json
+except ModuleNotFoundError:  # invoked as a script: python benchmarks/bench_...
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    from benchmarks._report import RESULTS_DIR, report, write_json
+
+import repro
+from repro import Machine, Session
+
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_autotune.json")
+
+#: mean |predicted - measured| / predicted over the executed frontier.
+#: Host timing on a shared CI runner is noisy, the workloads here are
+#: sub-millisecond (replay overhead dominates compute), and the
+#: calibration is fitted from 1-D micro-benchmarks, so the bound is
+#: deliberately loose -- predictions must land within 2x of measured.
+#: That catches a broken predictor (10x off), not scheduler jitter.
+ERROR_BOUND = 1.0
+#: the frontier budget must not exceed this share of the enumeration
+FRONTIER_FRACTION = 0.25
+
+
+def _jacobi_src(n):
+    return f"""
+processors procs(2, 2)
+real X(0:{n}, 0:{n}) dist (block, block)
+real F(0:{n}, 0:{n}) dist (block, block)
+doall (i, j) = [1, {n - 1}] * [1, {n - 1}] on owner(X(i, j))
+  X(i, j) = 0.25*(X(i+1, j) + X(i-1, j) + X(i, j+1) + X(i, j-1)) - F(i, j)
+end doall
+"""
+
+
+def _adi_src(n):
+    # the directional-sweep pair that makes layout choice a real
+    # trade-off: a row layout ships ghosts in the y-sweep, a column
+    # layout in the x-sweep, a 2-D grid in both
+    return f"""
+processors procs(2, 2)
+real X(0:{n}, 0:{n}) dist (block, block)
+real F(0:{n}, 0:{n}) dist (block, block)
+doall (i, j) = [1, {n - 1}] * [1, {n - 1}] on owner(X(i, j))
+  X(i, j) = 0.5*(X(i, j-1) + X(i, j+1)) - F(i, j)
+end doall
+doall (i, j) = [1, {n - 1}] * [1, {n - 1}] on owner(X(i, j))
+  X(i, j) = 0.5*(X(i-1, j) + X(i+1, j)) - F(i, j)
+end doall
+"""
+
+
+def _tune_kernel(name, src, n, cal, iters, reps, seed):
+    sess = Session(Machine(n_procs=4))
+    sess.calibration = cal
+    prog = repro.compile(src, session=sess)
+    rng = np.random.default_rng(seed)
+    f = 1e-3 * rng.standard_normal((n + 1, n + 1))
+    prog.arrays["X"].from_global(np.zeros((n + 1, n + 1)))
+    prog.arrays["F"].from_global(f)
+    result = repro.tune(prog, iters=iters, reps=reps)
+    return result
+
+
+def _kernel_row(name, result):
+    budget_cap = max(1, math.floor(FRONTIER_FRACTION * result.n_enumerated))
+    mean_err = result.mean_error()
+    gates = {
+        "winner_not_slower": bool(
+            result.winner.measured is not None
+            and result.seed.measured is not None
+            and result.winner.measured <= result.seed.measured
+        ),
+        "within_budget": bool(
+            result.n_executed <= result.budget
+            and result.budget <= budget_cap
+        ),
+        "error_bounded": bool(mean_err is not None and mean_err <= ERROR_BOUND),
+    }
+    return {
+        "n_enumerated": result.n_enumerated,
+        "n_executed": result.n_executed,
+        "budget": result.budget,
+        "budget_cap": budget_cap,
+        "mode": result.mode,
+        "mean_error": mean_err,
+        "seed": result.seed.as_dict(),
+        "winner": result.winner.as_dict(),
+        "speedup_vs_seed": (
+            result.seed.measured / result.winner.measured
+            if result.winner.measured else None
+        ),
+        "candidates": [c.as_dict() for c in result.candidates],
+        "gates": gates,
+    }
+
+
+def run(smoke=False):
+    if smoke:
+        n, iters, reps = 20, 2, 2
+        cal_kw = dict(sizes=(2048, 8192), transfer_widths=(256, 2048),
+                      transfer_arrays=(1, 2), iters=2, reps=2)
+    else:
+        n, iters, reps = 48, 4, 3
+        cal_kw = {}
+
+    cal = repro.calibrate(backend="simulator", **cal_kw)
+    fit = cal.fit_report()
+    r2 = dict(cal.r2)
+
+    kernels = {}
+    results = {}
+    for name, src, seed in (
+        ("jacobi", _jacobi_src(n), 31),
+        ("adi", _adi_src(n), 32),
+    ):
+        results[name] = _tune_kernel(name, src, n, cal, iters, reps, seed)
+        kernels[name] = _kernel_row(name, results[name])
+
+    gates = {
+        f"{k}_{g}": v
+        for k, row in kernels.items() for g, v in row["gates"].items()
+    }
+    payload = {
+        "experiment": "AUTOTUNE",
+        "mode": "smoke" if smoke else "full",
+        "n": n,
+        "iters": iters,
+        "reps": reps,
+        "error_bound": ERROR_BOUND,
+        "frontier_fraction": FRONTIER_FRACTION,
+        "calibration": {
+            "host": cal.host,
+            "backend": cal.backend_name,
+            "flop_time": cal.flop_time,
+            "sweep_overhead": cal.sweep_overhead,
+            "alpha": cal.alpha,
+            "beta": cal.beta,
+            "r2": r2,
+            "n_samples": len(fit["samples"]),
+        },
+        "kernels": kernels,
+        "gates": gates,
+        "notes": (
+            "Full autotune loop per kernel: repro.calibrate() fits a "
+            "host-seconds CalibratedCostModel from micro-benchmarks, "
+            "repro.tune() enumerates layouts, predicts all of them, and "
+            "executes only the pruned frontier (budget <= "
+            f"{FRONTIER_FRACTION:.0%} of the enumeration; the seed "
+            "layout always executes as the baseline).  Gated: the "
+            "measured winner is never slower than the seed, executions "
+            "never exceed the budget, and mean |predicted-measured|/"
+            f"predicted over the frontier stays under {ERROR_BOUND}.  "
+            "measured_s are best-of-reps steady-state replays, so "
+            "smoke-mode wall-clock numbers are honest but tiny."
+        ),
+    }
+    write_json("autotune", payload)
+
+    lines = [
+        f"calibration: flop_time={cal.flop_time:.3e}s alpha={cal.alpha:.3e}s "
+        f"beta={cal.beta:.3e}s/B (r2 compute={r2.get('compute', 0):.3f}, "
+        f"transfer={r2.get('transfer', 0):.3f})",
+        f"{'kernel':<8} {'enum':>5} {'exec':>5} {'budget':>6} "
+        f"{'seed ms':>9} {'winner ms':>10} {'speedup':>8} {'mean err':>9}",
+    ]
+    for name, row in kernels.items():
+        res = results[name]
+        lines.append(
+            f"{name:<8} {row['n_enumerated']:>5} {row['n_executed']:>5} "
+            f"{row['budget']:>6} {res.seed.measured * 1e3:>9.3f} "
+            f"{res.winner.measured * 1e3:>10.3f} "
+            f"{row['speedup_vs_seed']:>7.2f}x {row['mean_error']:>8.1%}"
+        )
+        lines.append(f"  winner: {res.winner.label()}  "
+                     f"(seed: {res.seed.label()})")
+    lines.append("gates: " + ", ".join(
+        f"{k}={'PASS' if v else 'FAIL'}" for k, v in gates.items()
+    ))
+    lines.append(f"json: {os.path.relpath(JSON_PATH)}")
+    report("AUTOTUNE", "calibrated prune-then-execute layout search", lines)
+
+    ok = all(gates.values())
+    if not ok:
+        failed = [k for k, v in gates.items() if not v]
+        print(f"SMOKE FAIL: autotune gate(s) failed: {', '.join(failed)}",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(run(smoke="--smoke" in sys.argv))

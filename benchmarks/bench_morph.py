@@ -21,31 +21,22 @@ Output: ``benchmarks/results/MORPH.txt`` (human table) and
 ``benchmarks/results/BENCH_morph.json``.
 """
 
-import json
 import os
-import platform
 import sys
 import time
 
 import numpy as np
 
 try:
-    from benchmarks._report import RESULTS_DIR, report
+    from benchmarks._report import RESULTS_DIR, report, write_json
 except ModuleNotFoundError:  # invoked as a script: python benchmarks/bench_...
     sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-    from benchmarks._report import RESULTS_DIR, report
+    from benchmarks._report import RESULTS_DIR, report, write_json
 
 import repro
 from repro import Machine, ProcessorGrid, Session
 
 JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_morph.json")
-
-
-def _usable_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux hosts
-        return os.cpu_count() or 1
 
 
 def _trace_sig(trace):
@@ -125,11 +116,6 @@ def run(smoke=False):
     payload = {
         "experiment": "MORPH",
         "mode": "smoke" if smoke else "full",
-        "host": {
-            "cpus": _usable_cpus(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
         "n": n,
         "sweeps": {"warm": warm, "mid": mid, "tail": tail},
         "grids": {"full": [4], "shrunk": [2]},
@@ -152,10 +138,7 @@ def run(smoke=False):
             "that second, all-hit cycle."
         ),
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(JSON_PATH, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    write_json("morph", payload)
 
     lines = [
         f"n={n}, sweeps warm/mid/tail = {warm}/{mid}/{tail}, "

@@ -36,19 +36,17 @@ Output: ``benchmarks/results/PARALLEL.txt`` (human table) and
 for the schema).
 """
 
-import json
 import os
-import platform
 import sys
 import time
 
 import numpy as np
 
 try:
-    from benchmarks._report import RESULTS_DIR, report
+    from benchmarks._report import RESULTS_DIR, host_info, report, write_json
 except ModuleNotFoundError:  # invoked as a script: python benchmarks/bench_...
     sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-    from benchmarks._report import RESULTS_DIR, report
+    from benchmarks._report import RESULTS_DIR, host_info, report, write_json
 
 import repro
 from repro import Machine, ProcessorGrid, Session
@@ -60,13 +58,6 @@ JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_parallel.json")
 
 SPEEDUP_TARGET = 2.0
 GATE_WORKERS = 4
-
-
-def _usable_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux hosts
-        return os.cpu_count() or 1
 
 
 def _trace_sig(trace):
@@ -121,7 +112,7 @@ def run(smoke=False):
     else:
         reps, n, iters, worker_counts = 3, 64, 30, (2, 4, 8)
 
-    cpus = _usable_cpus()
+    cpus = host_info()["cpus"]
     rng = np.random.default_rng(21)
     f = 1e-3 * rng.standard_normal((n + 1, n + 1))
 
@@ -174,11 +165,6 @@ def run(smoke=False):
     payload = {
         "experiment": "PARALLEL",
         "mode": "smoke" if smoke else "full",
-        "host": {
-            "cpus": cpus,
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
         "reps": reps,
         "n": n,
         "iters": iters,
@@ -209,10 +195,7 @@ def run(smoke=False):
             "speedup is not expected there."
         ),
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(JSON_PATH, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    write_json("parallel", payload)
 
     lines = [
         f"host: {cpus} usable CPU(s); sequential baseline "

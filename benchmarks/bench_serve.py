@@ -32,19 +32,17 @@ Output: ``benchmarks/results/SERVE.txt`` (human table) and
 the schema).
 """
 
-import json
 import os
-import platform
 import sys
 import time
 
 import numpy as np
 
 try:
-    from benchmarks._report import RESULTS_DIR, report
+    from benchmarks._report import RESULTS_DIR, host_info, report, write_json
 except ModuleNotFoundError:  # invoked as a script: python benchmarks/bench_...
     sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-    from benchmarks._report import RESULTS_DIR, report
+    from benchmarks._report import RESULTS_DIR, host_info, report, write_json
 
 import repro
 from repro import Machine, ProcessorGrid, Session
@@ -57,13 +55,6 @@ JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_serve.json")
 BATCH_SPEEDUP_TARGET = 3.0
 BATCH_SIZE = 8
 GATE_THREADS = 4
-
-
-def _usable_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux hosts
-        return os.cpu_count() or 1
 
 
 def _time_runs(run_once, reps):
@@ -201,7 +192,7 @@ def run(smoke=False):
         reps, n, iters = 3, 24, 30
         programs, requests, thread_counts = 4, 64, (1, 4, 16)
 
-    cpus = _usable_cpus()
+    cpus = host_info()["cpus"]
     batch = bench_batched(n, iters, BATCH_SIZE, reps)
     serving = bench_serving(n, iters, programs, requests, thread_counts)
 
@@ -221,11 +212,6 @@ def run(smoke=False):
     payload = {
         "experiment": "SERVE",
         "mode": "smoke" if smoke else "full",
-        "host": {
-            "cpus": cpus,
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
         "reps": reps,
         "n": n,
         "batch": batch,
@@ -273,10 +259,7 @@ def run(smoke=False):
             "shared plan cache's replay rate under that churn."
         ),
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(JSON_PATH, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    write_json("serve", payload)
 
     lines = [
         f"host: {cpus} usable CPU(s); jacobi n={n}, iters={iters}",

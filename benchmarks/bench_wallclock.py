@@ -36,7 +36,6 @@ sizes and exits nonzero if compiled replay is slower than interpreted
 on the jacobi scenario (the CI gate).
 """
 
-import json
 import os
 import sys
 import time
@@ -44,10 +43,10 @@ import time
 import numpy as np
 
 try:
-    from benchmarks._report import RESULTS_DIR, report
+    from benchmarks._report import RESULTS_DIR, report, write_json
 except ModuleNotFoundError:  # invoked as a script: python benchmarks/bench_...
     sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-    from benchmarks._report import RESULTS_DIR, report
+    from benchmarks._report import RESULTS_DIR, report, write_json
 
 import repro
 from repro import Machine, ProcessorGrid, Session
@@ -288,10 +287,7 @@ def run(smoke=False):
             "execution under plan rebuild, not pure replay."
         ),
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(JSON_PATH, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    write_json("wallclock", payload)
 
     lines = [
         f"{'scenario':<13} {'interp ms':>10} {'compiled ms':>12} "

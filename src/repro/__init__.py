@@ -87,6 +87,8 @@ from repro.compiler import (
     inspector_gather,
 )
 from repro.elastic import Checkpoint, checkpoint, morph, restore
+from repro.machine.calibrate import CalibratedCostModel, calibrate, fit_calibration
+from repro.tune import TuneResult, TuneSpace, tune
 from repro.session import (
     BatchResult,
     Program,
@@ -116,6 +118,9 @@ __all__ = [
     "SessionPool", "Server", "run_batch", "BatchResult",
     # elasticity (grid morphing, durable session state)
     "Checkpoint", "checkpoint", "restore", "morph",
+    # tuning (host calibration, prune-then-execute layout search)
+    "tune", "TuneResult", "TuneSpace",
+    "calibrate", "CalibratedCostModel", "fit_calibration",
     # machine
     "Machine", "Backend", "MultiprocessingBackend", "CostModel", "Trace",
     "Complete", "Line", "Ring", "Mesh2D", "Torus2D", "Hypercube",

@@ -65,7 +65,8 @@ class Checkpoint:
     same program (names and shapes are verified, not assumed).
     """
 
-    def __init__(self, runs: int, history: list, programs: list):
+    def __init__(self, runs: int, history: list, programs: list,
+                 calibration=None):
         self.version = CHECKPOINT_VERSION
         #: session launch counter at capture time
         self.runs = runs
@@ -73,6 +74,13 @@ class Checkpoint:
         self.history = history
         #: one dict per live program: grid + ordered array snapshots
         self.programs = programs
+        #: the session's host calibration
+        #: (:class:`~repro.machine.calibrate.CalibratedCostModel`) at
+        #: capture time, or None -- restoring carries it over, so a
+        #: restored session keeps autotuning without re-profiling.
+        #: Read with ``getattr(ckpt, "calibration", None)`` so pickles
+        #: written before this field existed still load.
+        self.calibration = calibration
 
     def to_bytes(self) -> bytes:
         """Serialize (pickle); inverse of :meth:`from_bytes`."""
@@ -105,6 +113,7 @@ class Checkpoint:
             "arrays": sum(len(s["arrays"]) for s in self.programs),
             "grids": [s["grid_shape"] for s in self.programs],
             "nbytes": nbytes,
+            "calibrated": getattr(self, "calibration", None) is not None,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -260,7 +269,8 @@ def checkpoint(session) -> Checkpoint:
                 "arrays": snaps,
             })
         return Checkpoint(
-            runs=session.runs, history=list(session.history), programs=states
+            runs=session.runs, history=list(session.history), programs=states,
+            calibration=getattr(session, "calibration", None),
         )
 
 
@@ -315,6 +325,11 @@ def restore(session, ckpt: Checkpoint) -> None:
         with session._lock:
             session.runs = ckpt.runs
             session.history = list(ckpt.history)[-session.max_history:]
+            # older pickles predate the field: leave the session's own
+            # calibration alone rather than clearing it
+            cal = getattr(ckpt, "calibration", None)
+            if cal is not None:
+                session.calibration = cal
 
 
 # ----------------------------------------------------------------------

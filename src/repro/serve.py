@@ -316,7 +316,9 @@ class Server:
 
     # -- elasticity --------------------------------------------------------
 
-    def morph(self, program: Program, new_grid: ProcessorGrid) -> Trace | None:
+    def morph(
+        self, program: Program, new_grid: "ProcessorGrid | str",
+    ) -> Trace | None:
         """Morph ``program``'s session onto ``new_grid`` with the pool
         quiesced.
 
@@ -325,7 +327,10 @@ class Server:
         requests drain), shuts their multiprocessing worker pools down
         (shared-memory blocks return to private storage before layouts
         change), then runs :meth:`repro.Session.morph` on the program's
-        own session.  The pool is released afterwards; subsequent
+        own session.  ``new_grid="auto"`` asks the autotuner for the
+        target grid exactly as :meth:`repro.Session.morph` does (the
+        chosen grid's TuneResult lands on that session's
+        ``last_tune``).  The pool is released afterwards; subsequent
         requests replay on the new grid, and worker pools respawn
         lazily.  Returns the repartition trace (``None`` when nothing
         moved).

@@ -54,6 +54,7 @@ True
 from __future__ import annotations
 
 import threading
+import warnings
 import weakref
 from typing import Any, Callable, Iterable, Sequence
 
@@ -178,6 +179,13 @@ class Session:
         #: (checkpoint/restore/morph) act on.  Weak so a discarded
         #: Program doesn't pin its arrays for the Session's lifetime.
         self._programs: list = []
+        #: host calibration (:class:`~repro.machine.calibrate.
+        #: CalibratedCostModel`) the tuner prefers over :attr:`cost`
+        #: when set; captured into checkpoints and restored with them
+        self.calibration = None
+        #: the :class:`~repro.tune.TuneResult` behind the most recent
+        #: ``morph("auto")`` grid choice (None until one runs)
+        self.last_tune = None
 
     # -- launching ---------------------------------------------------------
 
@@ -323,12 +331,24 @@ class Session:
 
     # -- compilation -------------------------------------------------------
 
-    def compile(self, obj, *, grid: ProcessorGrid | None = None) -> "Program":
+    def compile(
+        self,
+        obj,
+        *,
+        grid: ProcessorGrid | None = None,
+        tune: bool = False,
+        tune_budget: int | None = None,
+        tune_space=None,
+    ) -> "Program":
         """Compile ``obj`` into a :class:`Program` bound to this Session.
 
-        See the module-level :func:`compile` for the accepted forms.
+        See the module-level :func:`compile` for the accepted forms and
+        the ``tune`` knobs.
         """
-        return compile(obj, session=self, grid=grid)
+        return compile(
+            obj, session=self, grid=grid,
+            tune=tune, tune_budget=tune_budget, tune_space=tune_space,
+        )
 
     # -- elasticity --------------------------------------------------------
 
@@ -379,11 +399,39 @@ class Session:
 
         restore(self, ckpt)
 
-    def morph(self, new_grid: ProcessorGrid, *, machine: Machine | None = None):
+    def morph(
+        self,
+        new_grid: "ProcessorGrid | str",
+        *,
+        machine: Machine | None = None,
+        cost: CostModel | None = None,
+    ):
         """Move this Session's live programs onto ``new_grid``; see
-        :func:`repro.morph`."""
+        :func:`repro.morph`.
+
+        ``new_grid="auto"`` asks the autotuner for the target: every
+        grid shape of the current rank-count that fits the machine is
+        scored with the exact estimator (arrays keep their distribution
+        kinds -- exactly the layouts a morph can reach) under ``cost``
+        (default: this Session's :attr:`calibration`, then its
+        :attr:`cost`), and the predicted-best grid wins.  The
+        :class:`~repro.tune.TuneResult` behind the choice lands on
+        :attr:`last_tune`; the morph itself is then the ordinary
+        explicit morph, bit-identical to calling it with that grid.
+        """
         from repro.elastic import morph
 
+        if isinstance(new_grid, str):
+            if new_grid != "auto":
+                raise ValidationError(
+                    f"morph grid must be a ProcessorGrid or 'auto', "
+                    f"got {new_grid!r}"
+                )
+            from repro.tune import auto_grid
+
+            new_grid, self.last_tune = auto_grid(
+                self, machine=machine, cost=cost,
+            )
         return morph(self, new_grid, machine=machine)
 
     # -- introspection -----------------------------------------------------
@@ -457,6 +505,9 @@ class Program:
         self.ambiguous_names: set[str] = set()
         self.routine = routine
         self.grid = grid
+        #: the :class:`~repro.tune.TuneResult` of a ``compile(...,
+        #: tune=True)`` search (None when compiled without tuning)
+        self.tune_result = None
         #: serializes runs of *this* Program: its arrays (and the
         #: StepPlan workspaces of its analyses) are the mutable state a
         #: run reads and writes, so two concurrent ``run``/``run_batch``
@@ -637,6 +688,7 @@ class Program:
         overlap: bool = False,
         marks: str | None = None,
         machine: Machine | None = None,
+        backend: "str | Backend | None" = None,
         session: Session | None = None,
     ) -> "BatchResult":
         """Execute this loop program over many bindings as one batched sweep.
@@ -664,19 +716,47 @@ class Program:
         ``session`` overrides the launch Session (pooled serving);
         ``marks``/``machine`` are as in :meth:`run`.  The batched
         executor is always the compiled path (there is no interpreted
-        batch twin) and runs on the simulator backend.
+        batch twin) and runs on the **simulator backend only**: passing
+        any other ``backend`` raises :class:`ValidationError` (it used
+        to be silently ignored), and a Session whose *default* backend
+        is non-simulator is routed to the simulator with an explicit
+        ``UserWarning`` -- see "run_batch limitations" in
+        ``docs/api.md``.
         """
         with self.lock:
             return self._run_batch(
                 bindings, iters=iters, overlap=overlap, marks=marks,
-                machine=machine, session=session,
+                machine=machine, backend=backend, session=session,
             )
 
     def _run_batch(
         self, bindings, *, iters, overlap, marks, machine, session,
+        backend=None,
     ) -> "BatchResult":
         sess = session if session is not None else self.session
         self._require_loops("run_batch()")
+        # Batched replay has no multiprocessing twin yet (ROADMAP item):
+        # an explicitly requested non-simulator backend is an error, not
+        # a silent simulator run; a non-simulator *session default* is
+        # routed to the simulator with a warning, since the caller never
+        # named a backend for this call.
+        if backend is not None and backend != "simulator" \
+                and not isinstance(backend, Machine):
+            raise ValidationError(
+                "run_batch() executes on the simulator backend only "
+                f"(got backend={backend!r}); batched execution on the "
+                "multiprocessing backend is not implemented -- run it "
+                "without backend=, or loop Program.run per binding"
+            )
+        if backend is None and sess.backend is not None \
+                and sess.backend != "simulator":
+            warnings.warn(
+                "run_batch() executes on the simulator backend; the "
+                f"session's default backend ({sess.backend!r}) is "
+                "ignored for this call",
+                UserWarning,
+                stacklevel=3,
+            )
         bindings = [dict(b) for b in bindings]
         if not bindings:
             raise ValidationError("run_batch() needs at least one binding")
@@ -756,6 +836,7 @@ class Program:
 
         trace = sess.run(
             _program, machine=machine, grid=grid, marks=marks,
+            backend="simulator",
         )
 
         # Write back member by member, collecting each one's global
@@ -935,6 +1016,9 @@ def compile(
     *,
     machine: Machine | None = None,
     grid: ProcessorGrid | None = None,
+    tune: bool = False,
+    tune_budget: int | None = None,
+    tune_space=None,
 ) -> Program:
     """Compile a program into a :class:`Program` artifact.
 
@@ -955,6 +1039,16 @@ def compile(
     it.  With no ``session``, a fresh one is created around ``machine``
     (isolation by default); pass an explicit Session to share warmed
     schedules between programs.
+
+    ``tune=True`` runs a budgeted :func:`repro.tune.tune` search over
+    layouts before returning (loop programs only) and applies the
+    winner, so the returned Program is already frozen on the chosen
+    layout; the :class:`~repro.tune.TuneResult` lands on
+    ``Program.tune_result``.  ``tune_budget`` caps how many candidates
+    execute (default: one quarter of the enumeration) and
+    ``tune_space`` overrides the derived :class:`~repro.tune.TuneSpace`.
+    The search prefers the Session's host calibration
+    (``Session.calibration``) over its simulated cost model.
     """
     if session is None:
         session = Session(machine=machine, grid=grid)
@@ -1017,6 +1111,12 @@ def compile(
     for loop in program.loops:
         session.plans.analysis(loop)  # freeze schedules at compile time
     session._register_program(program)
+    if tune:
+        from repro.tune import tune as _tune
+
+        result = _tune(program, space=tune_space, budget=tune_budget)
+        result.apply()
+        program.tune_result = result
     return program
 
 

@@ -1,0 +1,115 @@
+"""Calibration fits are deterministic, auditable, and versioned.
+
+The measurement half of ``repro.machine.calibrate`` times real host
+seconds and cannot be pinned; the *fit* half can and is: a fixed
+sample table must always produce the same ``CalibratedCostModel``,
+round-trip losslessly through its wire formats, and refuse tables from
+an incompatible calibration version.
+"""
+
+import pickle
+
+import pytest
+
+from repro.machine.calibrate import (
+    CALIBRATION_VERSION,
+    CalibratedCostModel,
+    Sample,
+    fit_calibration,
+)
+from repro.machine.costmodel import CostModel
+from repro.util.errors import ValidationError
+
+#: a fixed, hand-made sample table: compute lines with known slope and
+#: intercept (seconds = 1e-6 + 2e-9 * flops for every family), and
+#: transfer residuals on the plane seconds = 1e-5*msgs + 1e-9*nbytes
+FIXED_SAMPLES = (
+    Sample("compute", "stencil", flops=1000, seconds=1e-6 + 2e-9 * 1000),
+    Sample("compute", "stencil", flops=4000, seconds=1e-6 + 2e-9 * 4000),
+    Sample("compute", "stencil", flops=16000, seconds=1e-6 + 2e-9 * 16000),
+    Sample("compute", "axpy", flops=1000, seconds=1e-6 + 2e-9 * 1000),
+    Sample("compute", "axpy", flops=4000, seconds=1e-6 + 2e-9 * 4000),
+    Sample("compute", "scale", flops=2000, seconds=1e-6 + 2e-9 * 2000),
+    Sample("compute", "scale", flops=8000, seconds=1e-6 + 2e-9 * 8000),
+    Sample("transfer", "simulator", flops=100, msgs=2, nbytes=1024,
+           seconds=1e-6 + 2e-9 * 100 + 1e-5 * 2 + 1e-9 * 1024),
+    Sample("transfer", "simulator", flops=100, msgs=8, nbytes=1024,
+           seconds=1e-6 + 2e-9 * 100 + 1e-5 * 8 + 1e-9 * 1024),
+    Sample("transfer", "simulator", flops=100, msgs=2, nbytes=65536,
+           seconds=1e-6 + 2e-9 * 100 + 1e-5 * 2 + 1e-9 * 65536),
+    Sample("transfer", "simulator", flops=100, msgs=8, nbytes=65536,
+           seconds=1e-6 + 2e-9 * 100 + 1e-5 * 8 + 1e-9 * 65536),
+)
+
+
+def test_fit_is_deterministic():
+    a = fit_calibration(FIXED_SAMPLES, host="h", backend="simulator")
+    b = fit_calibration(FIXED_SAMPLES, host="h", backend="simulator")
+    assert a == b
+    assert a.flop_time == b.flop_time
+    assert a.alpha == b.alpha and a.beta == b.beta
+    assert a.sweep_overhead == b.sweep_overhead
+    assert a.ufunc_flop_times == b.ufunc_flop_times
+    # shuffling the table leaves the fitted model unchanged up to float
+    # summation order: the fit groups by family, never by position
+    shuffled = FIXED_SAMPLES[::-1]
+    c = fit_calibration(shuffled, host="h", backend="simulator")
+    assert c.flop_time == pytest.approx(a.flop_time, rel=1e-12)
+    assert c.alpha == pytest.approx(a.alpha, rel=1e-12)
+    assert c.beta == pytest.approx(a.beta, rel=1e-12)
+    assert c.sweep_overhead == pytest.approx(a.sweep_overhead, rel=1e-12)
+
+
+def test_fit_recovers_planted_coefficients():
+    cal = fit_calibration(FIXED_SAMPLES, host="h")
+    assert cal.flop_time == pytest.approx(2e-9, rel=1e-6)
+    assert cal.sweep_overhead == pytest.approx(1e-6, rel=1e-6)
+    assert cal.alpha == pytest.approx(1e-5, rel=1e-3)
+    assert cal.beta == pytest.approx(1e-9, rel=1e-3)
+    # the synthetic table lies exactly on the fitted lines
+    r2 = dict(cal.r2)
+    assert r2["compute"] == pytest.approx(1.0, abs=1e-9)
+    assert r2["transfer"] == pytest.approx(1.0, abs=1e-6)
+    # unused postal-model terms are pinned at zero on a host fit
+    assert cal.send_overhead == 0.0 and cal.gamma_hop == 0.0
+
+
+def test_fit_report_residuals_match_model():
+    cal = fit_calibration(FIXED_SAMPLES, host="h")
+    rep = cal.fit_report()
+    assert rep["version"] == CALIBRATION_VERSION
+    assert len(rep["residuals"]) == len(FIXED_SAMPLES)
+    for row in rep["residuals"]:
+        assert row["residual_s"] == pytest.approx(0.0, abs=1e-9)
+    assert len(rep["samples"]) == len(FIXED_SAMPLES)
+
+
+def test_wire_roundtrips(tmp_path):
+    cal = fit_calibration(FIXED_SAMPLES, host="h", backend="multiprocessing")
+    # dict / JSON file
+    again = CalibratedCostModel.from_dict(cal.to_dict())
+    assert again == cal and again.samples == cal.samples
+    path = str(tmp_path / "cal.json")
+    assert CalibratedCostModel.load(cal.save(path)) == cal
+    # pickle (how a Checkpoint ships it)
+    assert pickle.loads(pickle.dumps(cal)) == cal
+    # it is a real CostModel: the simulator clock can consume it
+    assert isinstance(cal, CostModel)
+
+
+def test_version_gate():
+    cal = fit_calibration(FIXED_SAMPLES, host="h")
+    data = cal.to_dict()
+    data["version"] = CALIBRATION_VERSION + 1
+    with pytest.raises(ValidationError):
+        CalibratedCostModel.from_dict(data)
+    data = cal.to_dict()
+    data["mystery_field"] = 7
+    with pytest.raises(ValidationError):
+        CalibratedCostModel.from_dict(data)
+
+
+def test_fit_needs_compute_samples():
+    with pytest.raises(ValidationError):
+        fit_calibration([Sample("transfer", "simulator", msgs=1,
+                                nbytes=8, seconds=1e-5)])

@@ -1,0 +1,120 @@
+"""``Session.morph("auto")`` -- the tuner-picked morph is just a morph.
+
+``morph("auto")`` asks the tuner which grid the session's live
+programs should run on, then performs an ordinary elastic morph to it.
+The contract pinned here: the auto morph is *bit-identical* -- results
+and subsequent run trace -- to an explicit ``morph(grid)`` to the same
+chosen grid, on the simulator and the multiprocessing backend alike,
+and the evidence lands on ``session.last_tune``.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Machine, ProcessorGrid, Session
+from repro.serve import Server
+from repro.tune import TuneResult
+from repro.util.errors import ValidationError
+
+N = 18
+SRC = f"""
+processors procs(2, 2)
+real X(0:{N - 1}, 0:{N - 1}) dist (block, block)
+real F(0:{N - 1}, 0:{N - 1}) dist (block, block)
+doall (i, j) = [1, {N - 2}] * [1, {N - 2}] on owner(X(i, j))
+  X(i, j) = 0.25*(X(i+1, j) + X(i-1, j) + X(i, j+1) + X(i, j-1)) - F(i, j)
+end doall
+"""
+
+
+def trace_sig(trace):
+    return (
+        [(m.src, m.dst, m.tag, m.nbytes, m.t_send, m.t_arrive, m.t_recv)
+         for m in trace.messages],
+        [(m.proc, m.label, m.payload) for m in trace.marks],
+        [(c.proc, c.start, c.end, c.label) for c in trace.computes],
+    )
+
+
+def forcing():
+    return 1e-3 * np.random.default_rng(13).standard_normal((N, N))
+
+
+def fresh(backend=None):
+    sess = Session(Machine(n_procs=4), backend=backend)
+    prog = repro.compile(SRC, session=sess)
+    return sess, prog
+
+
+@pytest.mark.parametrize("backend", [None, "multiprocessing"])
+def test_morph_auto_bit_identical_to_explicit(backend):
+    # the auto path: warm sweeps, then let the tuner pick the grid
+    sess, prog = fresh(backend=backend)
+    try:
+        prog.run(X=np.zeros((N, N)), F=forcing(), iters=2)
+        sess.morph("auto")
+        chosen = prog.grid.shape
+        assert isinstance(sess.last_tune, TuneResult)
+        assert sess.last_tune.winner.grid_shape == chosen
+        t_auto = prog.run(iters=2)
+        got = prog.arrays["X"].to_global().copy()
+    finally:
+        sess.close_backend()
+
+    # the explicit path: an ordinary morph to the same chosen grid
+    ref_sess, ref_prog = fresh(backend=backend)
+    try:
+        ref_prog.run(X=np.zeros((N, N)), F=forcing(), iters=2)
+        ref_sess.morph(ProcessorGrid(chosen))
+        assert ref_prog.grid.shape == chosen
+        t_ref = ref_prog.run(iters=2)
+        want = ref_prog.arrays["X"].to_global()
+    finally:
+        ref_sess.close_backend()
+
+    np.testing.assert_array_equal(got, want)
+    assert trace_sig(t_auto) == trace_sig(t_ref)
+
+
+def test_morph_auto_noop_when_already_best():
+    """When the tuner picks the grid the session is already on, the
+    morph is a no-op and everything keeps running bit-identically."""
+    sess, prog = fresh()
+    prog.run(X=np.zeros((N, N)), F=forcing(), iters=2)
+    sess.morph("auto")
+    first = prog.grid.shape
+    before = prog.arrays["X"].to_global().copy()
+    sess.morph("auto")  # already on the tuner's pick: must hold still
+    assert prog.grid.shape == first
+    np.testing.assert_array_equal(prog.arrays["X"].to_global(), before)
+
+
+def test_morph_rejects_unknown_string():
+    sess, _ = fresh()
+    with pytest.raises(ValidationError):
+        sess.morph("fastest")
+
+
+def test_server_morph_auto_passthrough():
+    """``Server.morph(prog, "auto")`` quiesces the pool, lets the tuner
+    pick, and keeps serving bit-identical runs on the chosen grid."""
+    with Server(machine=Machine(n_procs=4), threads=2) as srv:
+        prog = srv.compile(SRC)
+        srv.run(prog, X=np.zeros((N, N)), F=forcing(), iters=2)
+        srv.morph(prog, "auto")
+        chosen = prog.grid.shape
+        assert isinstance(prog.session.last_tune, TuneResult)
+        assert prog.session.last_tune.winner.grid_shape == chosen
+        t_auto = srv.run(prog, iters=2)
+        got = prog.arrays["X"].to_global().copy()
+
+    with Server(machine=Machine(n_procs=4), threads=2) as ref_srv:
+        ref = ref_srv.compile(SRC)
+        ref_srv.run(ref, X=np.zeros((N, N)), F=forcing(), iters=2)
+        ref_srv.morph(ref, ProcessorGrid(chosen))
+        t_ref = ref_srv.run(ref, iters=2)
+        want = ref.arrays["X"].to_global()
+
+    np.testing.assert_array_equal(got, want)
+    assert trace_sig(t_auto) == trace_sig(t_ref)

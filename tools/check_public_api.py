@@ -29,6 +29,7 @@ REQUIRED = {
     "Session", "Program", "compile",
     "SessionPool", "Server", "run_batch", "BatchResult",
     "Checkpoint", "checkpoint", "restore", "morph",
+    "tune", "TuneResult", "CalibratedCostModel", "calibrate",
 }
 
 

@@ -154,7 +154,11 @@ def bench_serving(n, iters, programs, requests, thread_counts):
     zeros = np.zeros((n + 1, n + 1))
     rows = {}
     for t in thread_counts:
-        with Server(machine=Machine(n_procs=2), threads=t) as srv:
+        # the load generator pre-enqueues every request, so opt into a
+        # queue deep enough to hold the whole burst (the admission
+        #-control default would reject the excess -- by design)
+        with Server(machine=Machine(n_procs=2), threads=t,
+                    max_queue=requests) as srv:
             progs = [srv.compile(_jacobi_loop(n)) for _ in range(programs)]
             # warm: one request per program (plans were compiled above;
             # this warms the thread pool and any lazy per-rank plans)

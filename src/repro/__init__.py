@@ -98,6 +98,8 @@ from repro.session import (
     run_batch,
 )
 from repro.serve import Server, SessionPool
+from repro.supervise import RecoveryLog, Supervisor, SupervisorPolicy
+from repro import faults
 from repro.util.errors import (
     CompileError,
     DeadlockError,
@@ -105,6 +107,7 @@ from repro.util.errors import (
     MachineError,
     ReproDeprecationWarning,
     ReproError,
+    ServerOverloadError,
     ValidationError,
 )
 
@@ -118,6 +121,8 @@ __all__ = [
     "SessionPool", "Server", "run_batch", "BatchResult",
     # elasticity (grid morphing, durable session state)
     "Checkpoint", "checkpoint", "restore", "morph",
+    # resilience (supervised runs, recovery policy, chaos API)
+    "Supervisor", "SupervisorPolicy", "RecoveryLog", "faults",
     # tuning (host calibration, prune-then-execute layout search)
     "tune", "TuneResult", "TuneSpace",
     "calibrate", "CalibratedCostModel", "fit_calibration",
@@ -139,5 +144,5 @@ __all__ = [
     # errors
     "ReproError", "MachineError", "DeadlockError",
     "DistributionError", "CompileError", "ValidationError",
-    "ReproDeprecationWarning",
+    "ServerOverloadError", "ReproDeprecationWarning",
 ]

@@ -34,7 +34,11 @@ property tests live in ``tests/elastic/``.
 
 from __future__ import annotations
 
+import itertools
+import os
 import pickle
+import struct
+import zlib
 from contextlib import ExitStack
 
 import numpy as np
@@ -45,6 +49,19 @@ from repro.util.errors import ValidationError
 
 #: Checkpoint wire-format version; bump on incompatible layout changes.
 CHECKPOINT_VERSION = 1
+
+#: ``to_bytes`` envelope: magic + crc32 + payload length, then pickle.
+#: Bytes without the magic are read as a legacy un-enveloped pickle.
+_MAGIC = b"RPCKPT1\x00"
+_HEADER = struct.Struct("<IQ")
+
+#: process-local checkpoint identities (incremental deltas name their
+#: base by id, so a merge against the wrong base fails loudly)
+_CKPT_IDS = itertools.count(1)
+
+
+def _new_ckpt_id() -> str:
+    return f"{os.getpid()}-{next(_CKPT_IDS)}"
 
 
 class Checkpoint:
@@ -66,7 +83,8 @@ class Checkpoint:
     """
 
     def __init__(self, runs: int, history: list, programs: list,
-                 calibration=None):
+                 calibration=None, *, sweep: int = 0, kind: str = "full",
+                 base_id: str | None = None):
         self.version = CHECKPOINT_VERSION
         #: session launch counter at capture time
         self.runs = runs
@@ -81,14 +99,62 @@ class Checkpoint:
         #: Read with ``getattr(ckpt, "calibration", None)`` so pickles
         #: written before this field existed still load.
         self.calibration = calibration
+        #: sweep cursor: sweeps completed (within the checkpointed run
+        #: span) when this snapshot was taken -- recovery resumes here
+        self.sweep = int(sweep)
+        #: ``"full"`` (every array's values present) or ``"incremental"``
+        #: (values elided for arrays unchanged since the base snapshot)
+        self.kind = kind
+        #: identity of this snapshot / of an incremental delta's base
+        self.ckpt_id = _new_ckpt_id()
+        self.base_id = base_id
 
     def to_bytes(self) -> bytes:
-        """Serialize (pickle); inverse of :meth:`from_bytes`."""
-        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        """Serialize; inverse of :meth:`from_bytes`.
+
+        The pickle payload is wrapped in a checksummed envelope (magic,
+        CRC-32, payload length) so truncated or bit-flipped bytes fail
+        with a clear :class:`ValidationError` at load time instead of
+        an opaque unpickling error -- or, worse, silently wrong state.
+        """
+        payload = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        return _MAGIC + _HEADER.pack(crc, len(payload)) + payload
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Checkpoint":
-        ckpt = pickle.loads(data)
+        data = bytes(data)
+        if data[:len(_MAGIC)] == _MAGIC:
+            head_end = len(_MAGIC) + _HEADER.size
+            if len(data) < head_end:
+                raise ValidationError(
+                    f"truncated checkpoint: {len(data)} bytes is shorter "
+                    "than the envelope header"
+                )
+            crc, n = _HEADER.unpack(data[len(_MAGIC):head_end])
+            payload = data[head_end:]
+            if len(payload) != n:
+                raise ValidationError(
+                    f"truncated checkpoint: envelope declares {n} payload "
+                    f"bytes but {len(payload)} are present"
+                )
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                raise ValidationError(
+                    "corrupted checkpoint: CRC-32 mismatch (bytes were "
+                    "altered after to_bytes(); refusing to load state "
+                    "that could be silently wrong)"
+                )
+        else:
+            # legacy un-enveloped pickle (written before the checksum)
+            payload = data
+        try:
+            ckpt = pickle.loads(payload)
+        except ValidationError:
+            raise
+        except Exception as exc:
+            raise ValidationError(
+                f"corrupted checkpoint: payload does not unpickle ({exc})"
+            ) from exc
         if not isinstance(ckpt, cls):
             raise ValidationError(
                 f"not a Checkpoint: deserialized {type(ckpt).__name__}"
@@ -100,11 +166,47 @@ class Checkpoint:
             )
         return ckpt
 
+    def merged(self, base: "Checkpoint") -> "Checkpoint":
+        """Hydrate an incremental delta against its ``base`` full snapshot.
+
+        Returns a new *full* :class:`Checkpoint` at this delta's sweep
+        cursor: arrays whose values were elided as clean take them from
+        ``base``; everything else (layouts, counters, history) comes
+        from the delta, which always captures it.  Raises unless
+        ``base`` is the full snapshot this delta was diffed against.
+        """
+        if _kind_of(self) != "incremental":
+            raise ValidationError(
+                f"merged() applies to incremental checkpoints, not {_kind_of(self)!r}"
+            )
+        if _kind_of(base) != "full":
+            raise ValidationError("merge base must be a full checkpoint")
+        if getattr(base, "ckpt_id", None) != self.base_id:
+            raise ValidationError(
+                f"incremental checkpoint was diffed against base "
+                f"{self.base_id!r}, not {getattr(base, 'ckpt_id', None)!r} "
+                "-- merging against the wrong base would mix states"
+            )
+        states = []
+        for state, bstate in zip(self.programs, base.programs):
+            snaps = []
+            for snap, bsnap in zip(state["arrays"], bstate["arrays"]):
+                if snap["data"] is None:
+                    snap = dict(snap, data=bsnap["data"])
+                snaps.append(snap)
+            states.append(dict(state, arrays=snaps))
+        return Checkpoint(
+            runs=self.runs, history=self.history, programs=states,
+            calibration=getattr(self, "calibration", None),
+            sweep=self.sweep, kind="full",
+        )
+
     def describe(self) -> dict:
         """Summary for logs/benchmarks: counts, grids, total bytes."""
         nbytes = sum(
             snap["data"].nbytes
             for state in self.programs for snap in state["arrays"]
+            if snap["data"] is not None
         )
         return {
             "version": self.version,
@@ -113,6 +215,8 @@ class Checkpoint:
             "arrays": sum(len(s["arrays"]) for s in self.programs),
             "grids": [s["grid_shape"] for s in self.programs],
             "nbytes": nbytes,
+            "kind": _kind_of(self),
+            "sweep": getattr(self, "sweep", 0),
             "calibrated": getattr(self, "calibration", None) is not None,
         }
 
@@ -127,6 +231,11 @@ class Checkpoint:
 # ----------------------------------------------------------------------
 # Shared helpers
 # ----------------------------------------------------------------------
+
+
+def _kind_of(ckpt) -> str:
+    """``ckpt.kind``, tolerating pickles written before the field."""
+    return getattr(ckpt, "kind", "full")
 
 
 def _storage_of(array):
@@ -237,16 +346,47 @@ def _refreeze(session, program, new_grid: ProcessorGrid | None = None) -> None:
 # ----------------------------------------------------------------------
 
 
-def checkpoint(session) -> Checkpoint:
+def _snap_clean(snap: dict, bsnap: dict) -> bool:
+    """True when ``snap`` is value- and layout-identical to ``bsnap``
+    (its base-snapshot counterpart) and may elide its data."""
+    return (
+        snap["name"] == bsnap["name"]
+        and snap["spec_key"] == bsnap["spec_key"]
+        and snap["grid_shape"] == bsnap["grid_shape"]
+        and np.array_equal(snap["grid_ranks"], bsnap["grid_ranks"])
+        and snap["comm_epoch"] == bsnap["comm_epoch"]
+        and np.array_equal(snap["data"], bsnap["data"])
+    )
+
+
+def checkpoint(session, *, sweep: int = 0, base: Checkpoint | None = None,
+               programs: list | None = None) -> Checkpoint:
     """Capture ``session``'s run state into a :class:`Checkpoint`.
 
     Collective over nothing -- this is a host-side snapshot taken with
-    every live program's run lock held (no sweep can be mid-flight).
+    every captured program's run lock held (no sweep can be mid-flight).
     Array values are captured as global numpy arrays, layouts as
     (grid, per-dimension specs, comm epoch); bindings are state the
     arrays already hold, so they are captured with the values.
+
+    ``sweep`` stamps the checkpoint's sweep cursor (how many sweeps of
+    the current run span it reflects); recovery resumes there instead
+    of sweep 0.  ``programs`` scopes capture to an explicit program
+    list (default: every live loop program) -- mid-run checkpoints
+    scope to the running program so they never have to wait on another
+    program's in-flight sweep.  With ``base`` (a prior *full* snapshot
+    of the same scope), the result is an *incremental* checkpoint:
+    arrays whose values and layout are unchanged since ``base`` elide
+    their data (``data=None``) and are re-hydrated by
+    :meth:`Checkpoint.merged` -- the cheap per-sweep-boundary snapshot
+    that makes ``checkpoint_every=`` affordable.
     """
-    programs = _loop_programs(session)
+    if programs is None:
+        programs = _loop_programs(session)
+    if base is not None and _kind_of(base) != "full":
+        raise ValidationError(
+            "incremental checkpoints diff against a *full* base snapshot"
+        )
     with _all_locks(programs):
         states = []
         for p in programs:
@@ -268,13 +408,33 @@ def checkpoint(session) -> Checkpoint:
                 "grid_ranks": np.asarray(p.grid.ranks),
                 "arrays": snaps,
             })
+        if base is not None:
+            if len(states) != len(base.programs):
+                raise ValidationError(
+                    f"incremental checkpoint scope ({len(states)} program(s)) "
+                    f"does not match its base ({len(base.programs)})"
+                )
+            for state, bstate in zip(states, base.programs):
+                if len(state["arrays"]) != len(bstate["arrays"]):
+                    raise ValidationError(
+                        "incremental checkpoint array count does not match "
+                        "its base"
+                    )
+                state["arrays"] = [
+                    dict(snap, data=None) if _snap_clean(snap, bsnap) else snap
+                    for snap, bsnap in zip(state["arrays"], bstate["arrays"])
+                ]
         return Checkpoint(
             runs=session.runs, history=list(session.history), programs=states,
             calibration=getattr(session, "calibration", None),
+            sweep=sweep,
+            kind="full" if base is None else "incremental",
+            base_id=None if base is None else base.ckpt_id,
         )
 
 
-def restore(session, ckpt: Checkpoint) -> None:
+def restore(session, ckpt: Checkpoint, *, base: Checkpoint | None = None,
+            programs: list | None = None, counters: bool = True) -> None:
     """Load a :class:`Checkpoint` back into ``session``.
 
     Programs pair up in compile order, arrays in loop-traversal order;
@@ -285,11 +445,28 @@ def restore(session, ckpt: Checkpoint) -> None:
     layout (or grid) are re-laid out to the snapshot's first, and the
     owning program's plans are re-frozen against the restored layout --
     the recompile half of recompile-or-replay.  The session's run
-    counter and trace history are restored too.
+    counter and trace history are restored too (pass
+    ``counters=False`` to restore array state only -- what supervised
+    mid-run recovery wants, since the retried sweeps *do* happen and
+    the run ledger should say so).
+
+    An *incremental* checkpoint needs its ``base`` full snapshot to
+    re-hydrate (or hydrate explicitly with :meth:`Checkpoint.merged`);
+    ``programs`` restricts restore to an explicit scope matching the
+    one the checkpoint captured.
     """
     if not isinstance(ckpt, Checkpoint):
         raise ValidationError(f"restore() needs a Checkpoint, got {type(ckpt).__name__}")
-    programs = _loop_programs(session)
+    if _kind_of(ckpt) == "incremental":
+        if base is None:
+            raise ValidationError(
+                "restoring an incremental checkpoint needs base= (the full "
+                "snapshot it was diffed against), or hydrate it first with "
+                "Checkpoint.merged(base)"
+            )
+        ckpt = ckpt.merged(base)
+    if programs is None:
+        programs = _loop_programs(session)
     if len(programs) != len(ckpt.programs):
         raise ValidationError(
             f"checkpoint holds {len(ckpt.programs)} program(s) but the "
@@ -322,14 +499,15 @@ def restore(session, ckpt: Checkpoint) -> None:
             target = _grid_of(state)
             if changed or not _same_grid(p.grid, target):
                 _refreeze(session, p, target)
-        with session._lock:
-            session.runs = ckpt.runs
-            session.history = list(ckpt.history)[-session.max_history:]
-            # older pickles predate the field: leave the session's own
-            # calibration alone rather than clearing it
-            cal = getattr(ckpt, "calibration", None)
-            if cal is not None:
-                session.calibration = cal
+        if counters:
+            with session._lock:
+                session.runs = ckpt.runs
+                session.history = list(ckpt.history)[-session.max_history:]
+                # older pickles predate the field: leave the session's
+                # own calibration alone rather than clearing it
+                cal = getattr(ckpt, "calibration", None)
+                if cal is not None:
+                    session.calibration = cal
 
 
 # ----------------------------------------------------------------------

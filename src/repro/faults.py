@@ -1,0 +1,154 @@
+"""Chaos API: first-class fault injection for resilience testing.
+
+The multiprocessing backend has always carried a fault-injection hook
+(``mpbackend._FAULT_INJECTION``) so the elastic tests could kill ranks
+mid-Jacobi; this module promotes it into a small supported surface that
+tests, benchmarks, and operators drill recovery with:
+
+* :func:`kill_rank` -- arm a kill/raise at a given worker sweep, with
+  an optional slow-death delay (delayed recovery) and a firing budget
+  (``times=``) so a *transient* fault disarms itself after N pool
+  failures and the Supervisor's retry then succeeds;
+* :func:`corrupt_checkpoint_bytes` -- deterministically flip one bit
+  of a serialized checkpoint, for exercising the
+  :meth:`~repro.elastic.Checkpoint.from_bytes` integrity check.
+
+Everything here is deliberately *parent-side* plumbing over the one
+worker-side hook: workers inherit the armed spec at fork time, the
+parent observes pool failures through ``mpbackend._FAULT_OBSERVER``
+and disarms the spec when the budget is spent.  Arm faults *before*
+the pool spawns (the first run of a program spawns it); an armed fault
+survives pool respawns until disarmed, which is exactly what "kill a
+worker every K sweeps" needs -- each respawned pool restarts its sweep
+counter, so the same spec fires again K sweeps into the retry.
+
+See ``docs/resilience.md`` for how the Supervisor and the resilience
+drill (``benchmarks/bench_resilience.py``) use this module.
+"""
+
+from __future__ import annotations
+
+from repro.machine import mpbackend
+from repro.util.errors import ValidationError
+
+_ACTIONS = ("exit", "raise")
+
+
+class KillRank:
+    """An armed kill-rank-at-sweep fault (context manager).
+
+    While armed, worker ``rank`` (an int, or a tuple of ranks) of any
+    multiprocessing pool that forks dies at the start of its ``sweep``-th
+    sweep -- by ``os._exit`` (``action="exit"``: no goodbye on the
+    pipe, peers break out of the barrier) or by raising inside the
+    sweep driver (``action="raise"``: the worker reports a traceback).
+    ``delay_s`` sleeps before dying, modeling a slow death / delayed
+    recovery.  ``times`` bounds how many *pool failures* the fault
+    causes before it disarms itself (``None`` = never disarms): the
+    parent counts failures via the backend's fault observer, so after
+    the budget is spent the Supervisor's next retry runs clean.
+
+    Use as a context manager (or call :meth:`arm`/:meth:`disarm`);
+    only one fault can be armed at a time.
+    """
+
+    def __init__(self, rank, sweep: int, *, action: str = "exit",
+                 delay_s: float = 0.0, times: int | None = 1):
+        if action not in _ACTIONS:
+            raise ValidationError(
+                f"unknown fault action {action!r}; pick one of {_ACTIONS}"
+            )
+        if times is not None and times < 1:
+            raise ValidationError("times= must be >= 1 (or None for unbounded)")
+        self.spec = {"rank": rank, "sweep": int(sweep), "action": action}
+        if delay_s:
+            self.spec["delay_s"] = float(delay_s)
+        #: remaining pool failures before self-disarm (None = unbounded)
+        self.remaining = times
+        #: failed-rank tuples of every pool failure observed while armed
+        self.fired: list[tuple] = []
+        self._armed = False
+
+    def arm(self) -> "KillRank":
+        if mpbackend._FAULT_INJECTION is not None:
+            raise ValidationError(
+                "another fault is already armed; disarm it first "
+                "(one fault at a time keeps drills interpretable)"
+            )
+        mpbackend._FAULT_INJECTION = self.spec
+        mpbackend._FAULT_OBSERVER = self._observe
+        self._armed = True
+        return self
+
+    def disarm(self) -> None:
+        if mpbackend._FAULT_INJECTION is self.spec:
+            mpbackend._FAULT_INJECTION = None
+        if mpbackend._FAULT_OBSERVER is self._observe:
+            mpbackend._FAULT_OBSERVER = None
+        self._armed = False
+
+    def _observe(self, failed_ranks: tuple) -> None:
+        self.fired.append(tuple(failed_ranks))
+        if self.remaining is not None:
+            self.remaining -= 1
+            if self.remaining <= 0 and self._armed:
+                # budget spent: the fault becomes a no-op for respawned
+                # pools (workers fork after this point see no spec)
+                if mpbackend._FAULT_INJECTION is self.spec:
+                    mpbackend._FAULT_INJECTION = None
+
+    def __enter__(self) -> "KillRank":
+        return self.arm()
+
+    def __exit__(self, *exc) -> None:
+        self.disarm()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"KillRank(spec={self.spec}, remaining={self.remaining}, "
+            f"fired={len(self.fired)})"
+        )
+
+
+def kill_rank(rank, sweep: int, *, action: str = "exit",
+              delay_s: float = 0.0, times: int | None = 1) -> KillRank:
+    """Build (un-armed) a :class:`KillRank` fault; see its docstring.
+
+    >>> from repro.faults import kill_rank
+    >>> f = kill_rank((2, 3), sweep=1, times=2)
+    >>> f.spec["action"], f.remaining
+    ('exit', 2)
+    """
+    return KillRank(rank, sweep, action=action, delay_s=delay_s, times=times)
+
+
+def corrupt_checkpoint_bytes(blob: bytes, *, offset: int | None = None,
+                             bit: int = 0) -> bytes:
+    """Flip one bit of a serialized checkpoint, deterministically.
+
+    ``offset`` indexes the byte to damage (default: the middle of the
+    payload, past the envelope header so the corruption hits state, not
+    the magic); ``bit`` picks the bit within it.  The result must make
+    :meth:`repro.elastic.Checkpoint.from_bytes` raise
+    :class:`~repro.util.errors.ValidationError` -- that contract is
+    what the regression tests pin.
+    """
+    blob = bytes(blob)
+    if not blob:
+        raise ValidationError("cannot corrupt an empty byte string")
+    if offset is None:
+        from repro.elastic import _HEADER, _MAGIC
+        head = len(_MAGIC) + _HEADER.size
+        offset = head + (len(blob) - head) // 2 if len(blob) > head else len(blob) // 2
+    if not 0 <= offset < len(blob):
+        raise ValidationError(
+            f"offset {offset} out of range for {len(blob)}-byte blob"
+        )
+    if not 0 <= bit < 8:
+        raise ValidationError("bit must be in [0, 8)")
+    damaged = bytearray(blob)
+    damaged[offset] ^= 1 << bit
+    return bytes(damaged)
+
+
+__all__ = ["KillRank", "kill_rank", "corrupt_checkpoint_bytes"]

@@ -47,6 +47,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import time
 import traceback
 import weakref
 from collections import OrderedDict
@@ -74,14 +75,25 @@ def _close_all_pools() -> None:  # pragma: no cover - interpreter exit
         pool.close()
 
 
-#: Test-only fault injection: ``{"rank": r, "sweep": s, "action": a}``
-#: makes worker ``r`` fail at the start of its ``s``-th sweep (counted
-#: across runs) -- ``"raise"`` raises inside the sweep driver (the
-#: worker reports a traceback), ``"exit"`` kills the process outright
-#: (``os._exit``, no goodbye on the pipe).  Workers inherit the value
-#: at fork time, so set it *before* the pool spawns and clear it after;
-#: ``None`` (the default) is dead code on the hot path.
+#: Fault injection: ``{"rank": r, "sweep": s, "action": a}`` makes
+#: worker ``r`` fail at the start of its ``s``-th sweep (counted across
+#: runs within one pool's life) -- ``"raise"`` raises inside the sweep
+#: driver (the worker reports a traceback), ``"exit"`` kills the
+#: process outright (``os._exit``, no goodbye on the pipe).  An
+#: optional ``"delay_s"`` sleeps before failing (a slow death: peers
+#: block in the barrier for that long, modeling delayed recovery).
+#: Workers inherit the value at fork time, so set it *before* the pool
+#: spawns and clear it after; ``None`` (the default) is dead code on
+#: the hot path.  The supported way to drive this is the
+#: :mod:`repro.faults` chaos API, which also arms :data:`_FAULT_OBSERVER`
+#: to count firings and disarm transient faults.
 _FAULT_INJECTION: dict | None = None
+
+#: Parent-side hook called with the sorted failed-rank tuple whenever a
+#: pool run fails, *before* the MachineError is raised.  Installed by
+#: :mod:`repro.faults` to implement fault budgets (``times=``); ``None``
+#: means no observer.
+_FAULT_OBSERVER = None
 
 
 def _maybe_inject_fault(rank: int, sweeps_done: int) -> None:
@@ -95,6 +107,9 @@ def _maybe_inject_fault(rank: int, sweeps_done: int) -> None:
         return
     if sweeps_done != spec.get("sweep", 0):
         return
+    delay = spec.get("delay_s", 0.0)
+    if delay:
+        time.sleep(delay)
     if spec.get("action") == "exit":
         os._exit(1)
     raise RuntimeError(
@@ -687,12 +702,22 @@ class _WorkerPool:
                     del pending[rank]
         if failures:
             self.close()
+            failed_ranks = tuple(sorted(rank for rank, _ in failures))
+            observer = _FAULT_OBSERVER
+            if observer is not None:
+                try:
+                    observer(failed_ranks)
+                except Exception:  # pragma: no cover - defensive
+                    pass
             detail = "\n".join(
                 f"-- rank {rank} --\n{tb}" for rank, tb in failures
             )
-            raise MachineError(
+            err = MachineError(
                 "multiprocessing backend worker failure:\n" + detail
             )
+            #: consumed by the Supervisor's RecoveryLog
+            err.failed_ranks = failed_ranks
+            raise err
 
     def _abort_barrier(self) -> None:
         try:

@@ -63,7 +63,7 @@ from repro.machine.simulator import Machine
 from repro.machine.trace import Trace
 from repro.session import BatchResult, Program, Session
 from repro.session import compile as _compile
-from repro.util.errors import ValidationError
+from repro.util.errors import MachineError, ServerOverloadError, ValidationError
 
 
 class SessionPool:
@@ -165,6 +165,11 @@ class SessionPool:
         finally:
             self.release(s)
 
+    def free(self) -> int:
+        """How many sessions are currently checked in (available)."""
+        with self._cond:
+            return len(self._free)
+
     # -- compile and introspect -------------------------------------------
 
     def compile(self, obj, *, grid: ProcessorGrid | None = None) -> Program:
@@ -214,6 +219,22 @@ class Server:
     ``submit_batch``/``run_batch`` serve whole ensembles per request
     through :meth:`Program.run_batch`.  :meth:`stats` reports request
     counts, p50/p99 latency, and the shared caches' hit rates.
+
+    **Robustness** (see ``docs/resilience.md``): admission control
+    bounds the request backlog at ``max_queue`` beyond the in-flight
+    threads -- excess submits are *rejected* with
+    :class:`~repro.util.errors.ServerOverloadError` (carrying a
+    retry-after hint) rather than queued without bound, which is what
+    keeps accepted requests' tail latency finite.  Per-request
+    ``deadline=`` (seconds, measured from submit) covers queue wait +
+    session checkout: a request whose deadline lapses before it holds a
+    pooled session fails with ``TimeoutError`` without ever checking
+    one out (an already-executing run is never killed mid-sweep).  A
+    circuit breaker trips open after ``circuit_threshold`` consecutive
+    backend (:class:`~repro.util.errors.MachineError`) failures,
+    fast-rejects while open, and half-opens after ``circuit_cooldown``
+    seconds to let one probe request through; :meth:`health` reports
+    all of it.
     """
 
     def __init__(
@@ -226,6 +247,10 @@ class Server:
         threads: int = 4,
         marks: str = "cheap",
         pool_size: int | None = None,
+        max_queue: int | None = None,
+        default_deadline: float | None = None,
+        circuit_threshold: int = 5,
+        circuit_cooldown: float = 1.0,
     ):
         if threads < 1:
             raise ValidationError(f"Server needs threads >= 1, got {threads}")
@@ -239,43 +264,85 @@ class Server:
                 "pass machine/grid/pool_size when the Server builds its "
                 "own pool, not together with an explicit one"
             )
+        if max_queue is not None and max_queue < 0:
+            raise ValidationError(f"max_queue must be >= 0, got {max_queue}")
+        if circuit_threshold < 1:
+            raise ValidationError("circuit_threshold must be >= 1")
+        if circuit_cooldown <= 0:
+            raise ValidationError("circuit_cooldown must be > 0")
         self.pool = pool
         self.threads = threads
+        #: admitted-but-unstarted bound; in-flight capacity is
+        #: ``threads + max_queue``
+        self.max_queue = max_queue if max_queue is not None else 2 * threads
+        self._capacity = threads + self.max_queue
+        #: deadline applied when a submit names none (None = no deadline)
+        self.default_deadline = default_deadline
+        self.circuit_threshold = circuit_threshold
+        self.circuit_cooldown = circuit_cooldown
         self._executor = ThreadPoolExecutor(
             max_workers=threads, thread_name_prefix="repro-serve"
         )
         self._lock = threading.Lock()
         self._requests = 0
         self._failures = 0
+        self._rejected = 0
+        self._inflight = 0
         self._latencies: list[float] = []
         self._closed = False
+        # circuit breaker: "closed" (normal) -> "open" (fast-reject
+        # until _circuit_open_until) -> "half-open" (one probe at a
+        # time) -> "closed" on probe success / back to "open" on
+        # failure.  All transitions happen under _lock.
+        self._circuit = "closed"
+        self._circuit_failures = 0
+        self._circuit_open_until = 0.0
+        self._probe_inflight = False
 
     # -- requests ----------------------------------------------------------
 
-    def submit(self, program: Program, *args: Any, **kwargs: Any) -> Future:
+    def submit(
+        self, program: Program, *args: Any,
+        deadline: float | None = None, **kwargs: Any,
+    ) -> Future:
         """Enqueue one ``program.run(*args, **kwargs)``; returns a Future.
 
         The request executes on a worker thread against a pooled
         session; the Future resolves to the run's
-        :class:`~repro.machine.trace.Trace`.
+        :class:`~repro.machine.trace.Trace`.  May raise
+        :class:`~repro.util.errors.ServerOverloadError` *at submit
+        time* when the queue is full or the circuit breaker is open.
+        ``deadline`` (seconds from now; default
+        :attr:`default_deadline`) bounds queue wait + session checkout
+        -- a lapsed request's Future fails with ``TimeoutError`` and
+        never checks out a session.
         """
-        return self._submit(program.run, args, kwargs)
+        return self._submit(program.run, args, kwargs, deadline)
 
     def submit_batch(
-        self, program: Program, bindings: Sequence[dict], **kwargs: Any
+        self, program: Program, bindings: Sequence[dict],
+        deadline: float | None = None, **kwargs: Any,
     ) -> Future:
         """Enqueue one batched ensemble request (``Program.run_batch``)."""
-        return self._submit(program.run_batch, (bindings,), kwargs)
+        return self._submit(program.run_batch, (bindings,), kwargs, deadline)
 
-    def run(self, program: Program, *args: Any, **kwargs: Any) -> Trace:
+    def run(
+        self, program: Program, *args: Any,
+        deadline: float | None = None, **kwargs: Any,
+    ) -> Trace:
         """Blocking request: ``submit`` and wait for the trace."""
-        return self.submit(program, *args, **kwargs).result()
+        return self.submit(
+            program, *args, deadline=deadline, **kwargs
+        ).result()
 
     def run_batch(
-        self, program: Program, bindings: Sequence[dict], **kwargs: Any
+        self, program: Program, bindings: Sequence[dict],
+        deadline: float | None = None, **kwargs: Any,
     ) -> BatchResult:
         """Blocking batched request (``Program.run_batch``)."""
-        return self.submit_batch(program, bindings, **kwargs).result()
+        return self.submit_batch(
+            program, bindings, deadline=deadline, **kwargs
+        ).result()
 
     def fetch(self, program: Program, *names: str) -> dict:
         """Snapshot result arrays of ``program`` under its run lock.
@@ -291,27 +358,117 @@ class Server:
                 for name in (names or sorted(program.arrays))
             }
 
-    def _submit(self, call, args, kwargs) -> Future:
-        if self._closed:
-            raise ValidationError("Server is closed")
-        return self._executor.submit(self._serve, call, args, kwargs)
+    def _submit(self, call, args, kwargs, deadline=None) -> Future:
+        if deadline is None:
+            deadline = self.default_deadline
+        with self._lock:
+            if self._closed:
+                raise ValidationError("Server is closed")
+            self._admit_locked()
+            self._inflight += 1
+        t_deadline = None if deadline is None else perf_counter() + deadline
+        try:
+            return self._executor.submit(
+                self._serve, call, args, kwargs, t_deadline
+            )
+        except BaseException:
+            with self._lock:
+                self._inflight -= 1
+            raise
 
-    def _serve(self, call, args, kwargs):
+    def _admit_locked(self) -> None:
+        """Admission control + circuit breaker gate (holding _lock)."""
+        now = perf_counter()
+        if self._circuit == "open":
+            remaining = self._circuit_open_until - now
+            if remaining > 0:
+                self._rejected += 1
+                raise ServerOverloadError(
+                    "circuit breaker is open after repeated backend "
+                    "failures; fast-rejecting until cooldown lapses",
+                    retry_after=remaining,
+                )
+            self._circuit = "half-open"
+            self._probe_inflight = False
+        if self._circuit == "half-open" and self._probe_inflight:
+            self._rejected += 1
+            raise ServerOverloadError(
+                "circuit breaker is half-open with the probe request "
+                "still in flight",
+                retry_after=self.circuit_cooldown,
+            )
+        if self._inflight >= self._capacity:
+            self._rejected += 1
+            raise ServerOverloadError(
+                f"server overloaded: {self._inflight} requests in flight "
+                f">= capacity {self._capacity} ({self.threads} threads + "
+                f"{self.max_queue} queued)",
+                retry_after=self._retry_after_locked(),
+            )
+        if self._circuit == "half-open":
+            self._probe_inflight = True
+
+    def _retry_after_locked(self) -> float:
+        """Queue-drain estimate: p50 latency x queue depth / threads."""
+        lats = self._latencies
+        p50 = sorted(lats)[len(lats) // 2] if lats else 0.05
+        depth = max(1, self._inflight - self.threads + 1)
+        return max(0.01, p50 * depth / self.threads)
+
+    def _circuit_note_locked(self, ok: bool, exc=None) -> None:
+        """Feed one request outcome to the circuit breaker (holding _lock).
+
+        Only backend failures (:class:`MachineError`) count toward
+        tripping: caller errors (bad bindings, closed pools) and
+        deadline expiries say nothing about backend health.
+        """
+        if ok:
+            self._circuit_failures = 0
+            self._circuit = "closed"
+            self._probe_inflight = False
+            return
+        if not isinstance(exc, MachineError):
+            if self._circuit == "half-open":
+                # probe finished inconclusively: allow another probe
+                self._probe_inflight = False
+            return
+        self._circuit_failures += 1
+        if self._circuit == "half-open" \
+                or self._circuit_failures >= self.circuit_threshold:
+            self._circuit = "open"
+            self._circuit_open_until = perf_counter() + self.circuit_cooldown
+            self._circuit_failures = 0
+            self._probe_inflight = False
+
+    def _serve(self, call, args, kwargs, t_deadline=None):
         t0 = perf_counter()
         try:
-            with self.pool.session() as s:
+            if t_deadline is not None and t0 >= t_deadline:
+                raise TimeoutError(
+                    "request deadline expired while queued; the pooled "
+                    "session was never checked out"
+                )
+            timeout = (
+                None if t_deadline is None
+                else max(1e-3, t_deadline - perf_counter())
+            )
+            with self.pool.session(timeout=timeout) as s:
                 out = call(*args, session=s, **kwargs)
-        except BaseException:
+        except BaseException as exc:
             with self._lock:
                 self._requests += 1
                 self._failures += 1
+                self._inflight -= 1
+                self._circuit_note_locked(False, exc)
             raise
         dt = perf_counter() - t0
         with self._lock:
             self._requests += 1
+            self._inflight -= 1
             self._latencies.append(dt)
             if len(self._latencies) > _MAX_LATENCIES:
                 del self._latencies[: -_MAX_LATENCIES]
+            self._circuit_note_locked(True)
         return out
 
     # -- elasticity --------------------------------------------------------
@@ -357,9 +514,12 @@ class Server:
         with self._lock:
             lats = sorted(self._latencies)
             requests, failures = self._requests, self._failures
+            rejected, inflight = self._rejected, self._inflight
         return {
             "requests": requests,
             "failures": failures,
+            "rejected": rejected,
+            "inflight": inflight,
             "threads": self.threads,
             "pool_size": self.pool.size,
             "latency": {
@@ -370,11 +530,64 @@ class Server:
             "hit_rates": self.pool.hit_rates(),
         }
 
+    def health(self) -> dict:
+        """Liveness snapshot: admission state, circuit state, backlog.
+
+        ``status`` is ``"ok"``, ``"overloaded"`` (at capacity: the next
+        submit would be rejected), ``"circuit-open"`` (fast-rejecting
+        until cooldown), or ``"closed"``.  ``queued`` counts admitted
+        requests beyond the executing threads; ``pool_free`` is how
+        many sessions are checked in.
+        """
+        now = perf_counter()
+        with self._lock:
+            circuit = self._circuit
+            if circuit == "open" and now >= self._circuit_open_until:
+                # cooldown lapsed; the next submit performs the actual
+                # transition, report what it will find
+                circuit = "half-open"
+            inflight = self._inflight
+            closed = self._closed
+            requests, failures = self._requests, self._failures
+            rejected = self._rejected
+        if closed:
+            status = "closed"
+        elif circuit == "open":
+            status = "circuit-open"
+        elif inflight >= self._capacity:
+            status = "overloaded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "closed": closed,
+            "circuit": circuit,
+            "inflight": inflight,
+            "queued": max(0, inflight - self.threads),
+            "capacity": self._capacity,
+            "threads": self.threads,
+            "pool_free": self.pool.free(),
+            "requests": requests,
+            "failures": failures,
+            "rejected": rejected,
+        }
+
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Drain outstanding requests and shut the worker threads down."""
-        self._closed = True
+        """Drain outstanding requests and shut the worker threads down.
+
+        Idempotent: the first call flips the closed flag (so new
+        submits fail fast with :class:`ValidationError`) and waits for
+        admitted requests to drain; later calls return immediately
+        instead of re-waiting on the shut executor.  Never deadlocks:
+        the flag is flipped *before* the drain, outside any request's
+        lock.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         self._executor.shutdown(wait=True)
 
     def __enter__(self) -> "Server":

@@ -186,6 +186,11 @@ class Session:
         #: the :class:`~repro.tune.TuneResult` behind the most recent
         #: ``morph("auto")`` grid choice (None until one runs)
         self.last_tune = None
+        #: the :class:`~repro.supervise.RecoveryLog` of the Supervisor
+        #: watching this Session (None until one adopts it); surfaced
+        #: through :meth:`stats` so operators see recovery events where
+        #: they already look for cache accounting
+        self.recovery = None
 
     # -- launching ---------------------------------------------------------
 
@@ -392,12 +397,13 @@ class Session:
 
         return checkpoint(self)
 
-    def restore(self, ckpt) -> None:
+    def restore(self, ckpt, **kwargs) -> None:
         """Load a :class:`~repro.elastic.Checkpoint` back; see
-        :func:`repro.restore`."""
+        :func:`repro.restore` (``base=``/``programs=``/``counters=``
+        pass through)."""
         from repro.elastic import restore
 
-        restore(self, ckpt)
+        restore(self, ckpt, **kwargs)
 
     def morph(
         self,
@@ -438,12 +444,15 @@ class Session:
 
     def stats(self) -> dict:
         """Aggregate cache accounting: schedule and plan hit/miss counts,
-        per-direction and per-kind breakdowns, and the launch count."""
+        per-direction and per-kind breakdowns, the launch count, and --
+        when a :class:`~repro.supervise.Supervisor` watches this Session
+        -- its :class:`~repro.supervise.RecoveryLog` summary."""
         return {
             "runs": self.runs,
             "schedules": self.cache.stats(),
             "directions": self.cache.direction_stats(),
             "plans": self.plans.kind_stats(),
+            "recovery": None if self.recovery is None else self.recovery.summary(),
         }
 
     def hit_rates(self) -> dict[str, float]:
@@ -508,6 +517,13 @@ class Program:
         #: the :class:`~repro.tune.TuneResult` of a ``compile(...,
         #: tune=True)`` search (None when compiled without tuning)
         self.tune_result = None
+        #: mid-run checkpoint slots written by ``run(checkpoint_every=k)``:
+        #: the sweep-0 full snapshot and the latest (possibly
+        #: incremental) one -- read back hydrated via
+        #: :meth:`latest_checkpoint`, which is what supervised recovery
+        #: restores from
+        self.ckpt_base = None
+        self.ckpt_latest = None
         #: serializes runs of *this* Program: its arrays (and the
         #: StepPlan workspaces of its analyses) are the mutable state a
         #: run reads and writes, so two concurrent ``run``/``run_batch``
@@ -530,6 +546,7 @@ class Program:
         backend: "str | Backend | None" = None,
         bindings: dict[str, np.ndarray] | None = None,
         session: Session | None = None,
+        checkpoint_every: int | None = None,
         **kwargs: Any,
     ) -> Trace:
         """Execute the program; returns the :class:`~repro.machine.trace.Trace`.
@@ -568,8 +585,29 @@ class Program:
         schedules there).  Runs of one Program are serialized on
         :attr:`lock` -- its arrays and plan workspaces are the mutable
         state -- while distinct Programs run concurrently.
+
+        ``checkpoint_every=k`` (loop programs only) snapshots array
+        state at every k-th sweep boundary: a full
+        :class:`~repro.elastic.Checkpoint` of this program before the
+        first sweep, then a cheap *incremental* one (per-array dirty
+        deltas against that base) after each k-sweep leg, landing on
+        :attr:`ckpt_base`/:attr:`ckpt_latest`.  The run executes as
+        ``ceil(iters/k)`` chunked legs -- results are identical to one
+        un-chunked run (the split-iters invariant the elastic tests
+        pin), though each leg records its own trace in the session
+        history and the returned trace covers the final leg only.
+        Recovery (:class:`repro.supervise.Supervisor`) restores
+        :meth:`latest_checkpoint` and resumes from its sweep cursor
+        instead of sweep 0.
         """
         with self.lock:
+            if checkpoint_every is not None:
+                return self._run_checkpointed(
+                    args, kwargs, checkpoint_every=checkpoint_every,
+                    iters=iters, overlap=overlap, compiled=compiled,
+                    marks=marks, machine=machine, backend=backend,
+                    bindings=bindings, session=session,
+                )
             return self._run(
                 args, kwargs, iters=iters, overlap=overlap,
                 compiled=compiled, marks=marks, machine=machine,
@@ -612,18 +650,7 @@ class Program:
             )
         merged = dict(bindings or {})
         merged.update(kwargs)
-        for name, value in merged.items():
-            if name in self.ambiguous_names:
-                raise ValidationError(
-                    f"binding {name!r} is ambiguous: several distinct "
-                    "arrays share that name; give them unique names"
-                )
-            if name not in self.arrays:
-                raise ValidationError(
-                    f"unknown binding {name!r}: this program's arrays are "
-                    f"{sorted(self.arrays)}"
-                )
-            self.arrays[name].from_global(np.asarray(value))
+        self._apply_bindings(merged)
         loops, niters = self.loops, iters
 
         if compiled and loops:
@@ -679,6 +706,82 @@ class Program:
             _program, machine=machine, grid=self.grid,
             backend=backend, compiled=compiled, marks=marks,
         )
+
+    def _apply_bindings(self, merged: dict) -> None:
+        """Load ``{name: global array}`` bindings into the live arrays."""
+        for name, value in merged.items():
+            if name in self.ambiguous_names:
+                raise ValidationError(
+                    f"binding {name!r} is ambiguous: several distinct "
+                    "arrays share that name; give them unique names"
+                )
+            if name not in self.arrays:
+                raise ValidationError(
+                    f"unknown binding {name!r}: this program's arrays are "
+                    f"{sorted(self.arrays)}"
+                )
+            self.arrays[name].from_global(np.asarray(value))
+
+    def _run_checkpointed(
+        self, args, kwargs, *, checkpoint_every, iters, overlap,
+        compiled, marks, machine, backend, bindings, session,
+    ) -> Trace:
+        """Chunked-leg driver behind ``run(checkpoint_every=k)``.
+
+        Relies on the split-iters invariant -- ``run(iters=a)`` then
+        ``run(iters=b)`` leaves the same state as ``run(iters=a+b)`` --
+        so sweeping in legs with a snapshot between them changes no
+        result.  Bindings apply once, before the sweep-0 base snapshot,
+        so a restore of *any* checkpoint of this run already has them.
+        """
+        from repro.elastic import checkpoint as _checkpoint
+
+        self._require_loops("checkpoint_every=")
+        if args:
+            raise ValidationError(
+                "positional arguments apply to parsub programs only; "
+                "pass loop-program inputs as name=array bindings"
+            )
+        if checkpoint_every < 1:
+            raise ValidationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if iters < 1:
+            raise ValidationError(f"iters must be >= 1, got {iters}")
+        sess = session if session is not None else self.session
+        merged = dict(bindings or {})
+        merged.update(kwargs)
+        self._apply_bindings(merged)
+        base = _checkpoint(sess, sweep=0, programs=[self])
+        self.ckpt_base = base
+        self.ckpt_latest = base
+        trace, done = None, 0
+        while done < iters:
+            leg = min(checkpoint_every, iters - done)
+            trace = self._run(
+                (), {}, iters=leg, overlap=overlap, compiled=compiled,
+                marks=marks, machine=machine, backend=backend,
+                bindings=None, session=session,
+            )
+            done += leg
+            self.ckpt_latest = _checkpoint(
+                sess, sweep=done, base=base, programs=[self]
+            )
+        return trace
+
+    def latest_checkpoint(self):
+        """The most recent mid-run checkpoint, hydrated to a full
+        :class:`~repro.elastic.Checkpoint` (None until a
+        ``run(checkpoint_every=k)`` takes one).  Its ``sweep`` cursor
+        says how many sweeps of that run it reflects -- restore it and
+        run ``iters - sweep`` more to finish the interrupted run.
+        """
+        ck = self.ckpt_latest
+        if ck is None:
+            return None
+        if getattr(ck, "kind", "full") == "incremental":
+            return ck.merged(self.ckpt_base)
+        return ck
 
     def run_batch(
         self,

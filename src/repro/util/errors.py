@@ -56,6 +56,25 @@ class ValidationError(ReproError):
     """Invalid argument to a public API function."""
 
 
+class ServerOverloadError(ReproError):
+    """The serving layer refused a request instead of queueing it.
+
+    Raised by :meth:`repro.serve.Server.submit` (and the blocking
+    wrappers built on it) when admission control finds the bounded
+    queue full, or when the circuit breaker is open after repeated
+    backend failures.  Carries ``retry_after`` -- a best-effort hint,
+    in seconds, for when the caller should try again (queue-drain
+    estimate when overloaded, cooldown remainder when the circuit is
+    open).  Shedding load with this error is what keeps accepted
+    requests' latency bounded; see ``docs/resilience.md``.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        #: seconds the caller should wait before retrying (best effort)
+        self.retry_after = float(retry_after)
+        super().__init__(f"{message} (retry after ~{self.retry_after:.2f}s)")
+
+
 class ReproDeprecationWarning(DeprecationWarning):
     """A deprecated repro entry point was used.
 

@@ -1,0 +1,50 @@
+"""Shared test harness: a hang guard for the concurrency-heavy suites.
+
+The elastic / serve / supervise suites exercise forked worker pools,
+barriers, and thread pools -- the failure mode of a bug there is a
+*hang*, not a traceback.  ``pytest-timeout`` is not in the toolchain,
+so this conftest arms :func:`faulthandler.dump_traceback_later` around
+each test in those directories: a test exceeding the budget dumps every
+thread's stack to stderr and hard-exits the process instead of wedging
+CI until the job-level timeout.
+
+``REPRO_TEST_TIMEOUT`` overrides the per-test budget in seconds
+(``0`` disables the guard entirely).
+"""
+
+import faulthandler
+import os
+
+import pytest
+
+#: directories whose tests get the guard (hang-prone suites only --
+#: arming faulthandler around every fast unit test is pointless churn)
+_GUARDED = ("elastic", "serve", "supervise")
+
+_DEFAULT_TIMEOUT = 180.0
+
+
+def _budget() -> float:
+    raw = os.environ.get("REPRO_TEST_TIMEOUT", "").strip()
+    if not raw:
+        return _DEFAULT_TIMEOUT
+    try:
+        return float(raw)
+    except ValueError:
+        return _DEFAULT_TIMEOUT
+
+
+@pytest.fixture(autouse=True)
+def hang_guard(request):
+    """Per-test watchdog: dump all stacks and exit on a hang."""
+    timeout = _budget()
+    path = getattr(request.node, "path", None)
+    guarded = path is not None and path.parent.name in _GUARDED
+    if timeout <= 0 or not guarded:
+        yield
+        return
+    faulthandler.dump_traceback_later(timeout, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()

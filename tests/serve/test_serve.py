@@ -114,7 +114,9 @@ def test_pooled_runs_default_cheap_marks():
 
 
 def test_server_sync_and_async_requests():
-    with Server(machine=Machine(n_procs=2), threads=2) as srv:
+    # max_queue: this test bursts 8 submits at 2 threads; the admission
+    # -control default (2x threads) would reject the excess by design
+    with Server(machine=Machine(n_procs=2), threads=2, max_queue=8) as srv:
         prog = srv.compile(SRC)
         trace = srv.run(prog, x=np.arange(8.0))
         assert trace.level == "cheap"
@@ -164,7 +166,8 @@ def test_concurrent_distinct_programs_share_schedules():
     """K distinct Programs compiled from one source: each compiles its
     own arrays' schedules, every later request replays from the shared
     cache regardless of which thread/session serves it."""
-    with Server(machine=Machine(n_procs=2), threads=4) as srv:
+    with Server(machine=Machine(n_procs=2), threads=4,
+                max_queue=32) as srv:
         progs = [srv.compile(SRC) for _ in range(4)]
         expect = {}
         futs = []
@@ -223,7 +226,7 @@ def test_server_close_drains_queued_submits():
     """close() must let already-queued requests finish (drain, not
     drop): every Future resolves, and submits after close are refused."""
     with_results = []
-    srv = Server(machine=Machine(n_procs=2), threads=1)
+    srv = Server(machine=Machine(n_procs=2), threads=1, max_queue=6)
     prog = srv.compile(SRC)
     futs = [srv.submit(prog, x=np.full(8, float(k))) for k in range(6)]
     srv.close()
@@ -366,7 +369,8 @@ def test_run_ids_and_tags_stay_unique_under_threads():
 def test_programs_run_concurrently_results_uncorrupted():
     """Interleaved requests against distinct Programs keep per-program
     results consistent (Program.lock serializes per program only)."""
-    with Server(machine=Machine(n_procs=2), threads=4) as srv:
+    with Server(machine=Machine(n_procs=2), threads=4,
+                max_queue=32) as srv:
         progs = {k: srv.compile(SRC) for k in range(3)}
         futs = []
         for rep in range(10):

@@ -1,0 +1,334 @@
+"""Serving robustness: admission control, deadlines, circuit breaker.
+
+The Server must degrade *predictably* under abuse: excess load is
+rejected at submit time with :class:`ServerOverloadError` (with a
+retry-after hint) instead of queueing without bound; lapsed deadlines
+fail the Future without ever leaking a pooled session; repeated backend
+failures trip a circuit breaker that fast-rejects, half-opens after the
+cooldown, and closes again on a successful probe; ``close()`` is
+idempotent and refuses new work instead of deadlocking.
+
+Blocking/failing request bodies are stubbed with Program-shaped objects
+(the Server only touches ``program.run``), which makes every scenario
+deterministic -- no sleeps standing in for synchronization.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import Machine, MachineError, ServerOverloadError
+from repro.serve import Server, SessionPool
+from repro.util.errors import ReproError, ValidationError
+
+SRC = """
+processors procs(2)
+real x(0:7) dist (block)
+real y(0:7) dist (block)
+doall (i) = [1, 6] on owner(y(i))
+  y(i) = x(i-1) + x(i+1)
+end doall
+"""
+
+
+class GatedProgram:
+    """run() blocks until the gate opens -- a deterministic slow request."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.started = threading.Semaphore(0)
+
+    def run(self, *, session=None, **kw):
+        self.started.release()
+        assert self.gate.wait(timeout=30), "test gate never opened"
+        return "done"
+
+
+class FailingProgram:
+    """run() raises: MachineError (backend-sick) or ValidationError."""
+
+    def __init__(self, exc_type=MachineError):
+        self.exc_type = exc_type
+
+    def run(self, *, session=None, **kw):
+        raise self.exc_type("injected request failure")
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+
+
+def test_overload_rejects_excess_with_retry_after():
+    slow = GatedProgram()
+    with Server(machine=Machine(n_procs=2), threads=2, max_queue=1) as srv:
+        futs = [srv.submit(slow) for _ in range(3)]   # capacity = 2 + 1
+        slow.started.acquire(timeout=5)
+        slow.started.acquire(timeout=5)
+        with pytest.raises(ServerOverloadError) as ei:
+            srv.submit(slow)
+        assert ei.value.retry_after > 0.0
+        assert "retry after" in str(ei.value)
+        assert isinstance(ei.value, ReproError)
+        assert srv.health()["status"] == "overloaded"
+
+        # rejection sheds load without harming admitted requests
+        slow.gate.set()
+        assert [f.result(timeout=30) for f in futs] == ["done"] * 3
+        st = srv.stats()
+        assert st["requests"] == 3 and st["failures"] == 0
+        assert st["rejected"] == 1 and st["inflight"] == 0
+        # capacity freed: the server admits again
+        assert srv.submit(slow).result(timeout=30) == "done"
+
+
+def test_overloaded_server_never_deadlocks_and_p99_bounded():
+    """Synthetic overload: a burst far beyond capacity. Every accepted
+    request completes, every excess one is rejected, nothing hangs."""
+    with Server(machine=Machine(n_procs=2), threads=2, max_queue=2) as srv:
+        prog = srv.compile(SRC)
+        accepted, rejected = [], 0
+        for k in range(60):
+            try:
+                accepted.append(srv.submit(prog, x=np.full(8, float(k))))
+            except ServerOverloadError as exc:
+                assert exc.retry_after > 0.0
+                rejected += 1
+                time.sleep(0.002)   # clients back off; server drains
+        for f in accepted:
+            assert f.result(timeout=30).makespan() > 0.0
+        st = srv.stats()
+        assert st["requests"] == len(accepted) >= 4
+        assert st["rejected"] == rejected
+        assert st["inflight"] == 0 and st["failures"] == 0
+        # accepted requests' tail latency is bounded by the queue depth,
+        # not by the offered load: generous wall-clock sanity bound
+        assert 0.0 < st["latency"]["p99"] < 10.0
+        assert srv.health()["status"] == "ok"
+
+
+def test_max_queue_zero_admits_only_executing_threads():
+    slow = GatedProgram()
+    srv = Server(machine=Machine(n_procs=2), threads=1, max_queue=0)
+    try:
+        fut = srv.submit(slow)
+        slow.started.acquire(timeout=5)
+        with pytest.raises(ServerOverloadError):
+            srv.submit(slow)
+        slow.gate.set()
+        assert fut.result(timeout=30) == "done"
+    finally:
+        slow.gate.set()
+        srv.close()
+
+
+def test_server_validates_robustness_knobs():
+    m = Machine(n_procs=2)
+    with pytest.raises(ValidationError):
+        Server(machine=m, max_queue=-1)
+    with pytest.raises(ValidationError):
+        Server(machine=m, circuit_threshold=0)
+    with pytest.raises(ValidationError):
+        Server(machine=m, circuit_cooldown=0.0)
+
+
+# ----------------------------------------------------------------------
+# Deadlines
+# ----------------------------------------------------------------------
+
+
+def test_deadline_expired_in_queue_fails_without_session_leak():
+    slow = GatedProgram()
+    srv = Server(machine=Machine(n_procs=2), threads=1)
+    try:
+        blocker = srv.submit(slow)
+        slow.started.acquire(timeout=5)
+        doomed = srv.submit(slow, deadline=0.05)
+        time.sleep(0.1)            # let the deadline lapse in the queue
+        slow.gate.set()
+        assert blocker.result(timeout=30) == "done"
+        with pytest.raises(TimeoutError, match="never checked out"):
+            doomed.result(timeout=30)
+        st = srv.stats()
+        assert st["failures"] == 1 and st["inflight"] == 0
+        # no session leaked: the pool is whole and serving
+        assert srv.pool.free() == srv.pool.size
+        assert srv.submit(slow).result(timeout=30) == "done"
+    finally:
+        slow.gate.set()
+        srv.close()
+
+
+def test_deadline_bounds_pool_checkout_wait():
+    """Pool smaller than threads: the deadline covers session checkout,
+    and a timed-out checkout returns the pool intact."""
+    slow = GatedProgram()
+    pool = SessionPool(1, machine=Machine(n_procs=2))
+    srv = Server(pool, threads=2)
+    try:
+        holder = srv.submit(slow)
+        slow.started.acquire(timeout=5)
+        starved = srv.submit(slow, deadline=0.05)
+        with pytest.raises(TimeoutError):
+            starved.result(timeout=30)
+        assert pool.free() == 0            # holder still owns it, no leak
+        slow.gate.set()
+        assert holder.result(timeout=30) == "done"
+        assert pool.free() == 1
+        assert srv.submit(slow).result(timeout=30) == "done"
+    finally:
+        slow.gate.set()
+        srv.close()
+
+
+def test_default_deadline_applies_when_submit_names_none():
+    slow = GatedProgram()
+    srv = Server(machine=Machine(n_procs=2), threads=1,
+                 default_deadline=0.05)
+    try:
+        blocker = srv.submit(slow, deadline=30.0)
+        slow.started.acquire(timeout=5)
+        doomed = srv.submit(slow)          # inherits default_deadline
+        time.sleep(0.1)
+        slow.gate.set()
+        assert blocker.result(timeout=30) == "done"
+        with pytest.raises(TimeoutError):
+            doomed.result(timeout=30)
+    finally:
+        slow.gate.set()
+        srv.close()
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+
+def test_circuit_trips_fast_rejects_then_half_opens_and_recovers():
+    sick = FailingProgram(MachineError)
+    with Server(machine=Machine(n_procs=2), threads=1,
+                circuit_threshold=2, circuit_cooldown=0.15) as srv:
+        for _ in range(2):
+            with pytest.raises(MachineError):
+                srv.submit(sick).result(timeout=30)
+        # tripped: fast-reject with the cooldown as the hint
+        with pytest.raises(ServerOverloadError, match="circuit breaker"):
+            srv.submit(sick)
+        h = srv.health()
+        assert h["status"] == "circuit-open" and h["circuit"] == "open"
+
+        time.sleep(0.2)                    # cooldown lapses
+        assert srv.health()["circuit"] == "half-open"
+        # the probe succeeds -> closed again, traffic flows
+        prog = srv.compile(SRC)
+        assert srv.run(prog, x=np.arange(8.0)).makespan() > 0.0
+        h = srv.health()
+        assert h["circuit"] == "closed" and h["status"] == "ok"
+        st = srv.stats()
+        assert st["failures"] == 2 and st["rejected"] == 1
+
+
+def test_half_open_admits_one_probe_and_reopens_on_failure():
+    sick = FailingProgram(MachineError)
+    slow = GatedProgram()
+    srv = Server(machine=Machine(n_procs=2), threads=2,
+                 circuit_threshold=1, circuit_cooldown=0.1)
+    try:
+        with pytest.raises(MachineError):
+            srv.submit(sick).result(timeout=30)
+        time.sleep(0.15)
+        probe = srv.submit(slow)           # the half-open probe
+        slow.started.acquire(timeout=5)
+        # a second request while the probe is in flight is rejected
+        with pytest.raises(ServerOverloadError, match="half-open"):
+            srv.submit(slow)
+        slow.gate.set()
+        assert probe.result(timeout=30) == "done"
+
+        # a failing probe slams the circuit shut again
+        with pytest.raises(MachineError):
+            srv.submit(sick).result(timeout=30)
+        time.sleep(0.15)
+        with pytest.raises(MachineError):
+            srv.submit(sick).result(timeout=30)   # half-open probe fails
+        with pytest.raises(ServerOverloadError, match="circuit breaker"):
+            srv.submit(slow)
+    finally:
+        slow.gate.set()
+        srv.close()
+
+
+def test_caller_errors_do_not_trip_the_circuit():
+    bad = FailingProgram(ValidationError)
+    with Server(machine=Machine(n_procs=2), threads=1,
+                circuit_threshold=2) as srv:
+        for _ in range(6):
+            with pytest.raises(ValidationError):
+                srv.submit(bad).result(timeout=30)
+        assert srv.health()["circuit"] == "closed"
+        assert srv.stats()["failures"] == 6
+        prog = srv.compile(SRC)
+        assert srv.run(prog, x=np.zeros(8)).makespan() > 0.0
+
+
+# ----------------------------------------------------------------------
+# close() hardening and health()
+# ----------------------------------------------------------------------
+
+
+def test_close_is_idempotent_and_submit_after_close_raises():
+    srv = Server(machine=Machine(n_procs=2), threads=1)
+    prog = srv.compile(SRC)
+    srv.close()
+    t0 = time.perf_counter()
+    srv.close()                            # second close: immediate no-op
+    srv.close()
+    assert time.perf_counter() - t0 < 1.0
+    with pytest.raises(ValidationError, match="closed"):
+        srv.submit(prog, x=np.zeros(8))
+    assert srv.health()["status"] == "closed"
+
+
+def test_close_drains_inflight_then_later_close_returns():
+    slow = GatedProgram()
+    srv = Server(machine=Machine(n_procs=2), threads=1)
+    fut = srv.submit(slow)
+    slow.started.acquire(timeout=5)
+
+    closer = threading.Thread(target=srv.close)
+    closer.start()
+    closer.join(timeout=0.2)
+    assert closer.is_alive()               # draining: blocked on the gate
+    slow.gate.set()
+    closer.join(timeout=30)
+    assert not closer.is_alive()
+    assert fut.result(timeout=1) == "done"
+    srv.close()                            # idempotent after the drain
+
+
+def test_health_reports_backlog_and_pool():
+    slow = GatedProgram()
+    srv = Server(machine=Machine(n_procs=2), threads=1, max_queue=2)
+    try:
+        h0 = srv.health()
+        assert h0 == {
+            "status": "ok", "closed": False, "circuit": "closed",
+            "inflight": 0, "queued": 0, "capacity": 3, "threads": 1,
+            "pool_free": 1, "requests": 0, "failures": 0, "rejected": 0,
+        }
+        futs = [srv.submit(slow) for _ in range(3)]
+        slow.started.acquire(timeout=5)
+        h = srv.health()
+        assert h["inflight"] == 3 and h["queued"] == 2
+        assert h["status"] == "overloaded" and h["pool_free"] == 0
+        slow.gate.set()
+        for f in futs:
+            f.result(timeout=30)
+        h1 = srv.health()
+        assert h1["status"] == "ok" and h1["requests"] == 3
+        assert h1["pool_free"] == 1
+    finally:
+        slow.gate.set()
+        srv.close()

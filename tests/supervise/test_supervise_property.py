@@ -1,0 +1,146 @@
+"""Property tests: supervised recovery is bit-identity-preserving.
+
+Mirrors ``tests/elastic/test_elastic_property.py``: one program family
+swept over distributions (block / cyclic / blockcyclic) x grid sizes x
+stencil offsets, here with *faults injected* -- a FlakyBackend tears a
+scheduled subset of the run legs (state mutated, then
+``MachineError``), swept over kill points x checkpoint intervals.  The
+Supervisor must always deliver results bit-identical to an
+uninterrupted simulator run, resume every retry from the latest
+checkpoint's sweep cursor (never a sweep it already passed), and stay
+inside the retry budget.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro import Machine, MachineError, ProcessorGrid, Session
+from repro import Supervisor, SupervisorPolicy
+from repro.lang import Assign, BlockCyclic, DistArray, Doall, Owner, loopvars
+from repro.machine.backend import Backend
+
+
+def _dist_of(kind: str):
+    if kind.startswith("blockcyclic"):
+        return BlockCyclic(int(kind.rsplit("-", 1)[1]))
+    return kind
+
+
+def build_program(p, n, kind, off_l, off_r, seed):
+    grid = ProcessorGrid((p,))
+    X = DistArray((n,), grid, dist=(_dist_of(kind),), name="X")
+    Y = DistArray((n,), grid, dist=(_dist_of(kind),), name="Y")
+    rng = np.random.default_rng(seed)
+    (i,) = loopvars("i")
+    lo, hi = off_l, n - 1 - off_r
+    loop = Doall(
+        vars=(i,), ranges=[(lo, hi)], on=Owner(Y, (i,)),
+        body=[Assign(Y[i], 0.5 * (X[i - off_l] + X[i + off_r]))],
+        grid=grid,
+    )
+    loop2 = Doall(
+        vars=(i,), ranges=[(lo, hi)], on=Owner(X, (i,)),
+        body=[Assign(X[i], Y[i] + 1.0)],
+        grid=grid,
+    )
+    sess = Session(Machine(n_procs=max(4, p)))
+    prog = repro.compile([loop, loop2], session=sess)
+    x0 = rng.standard_normal(n)
+    return sess, prog, x0
+
+
+class FlakyBackend(Backend):
+    """Simulator delegate that tears scheduled run calls (see
+    tests/supervise/test_supervisor.py)."""
+
+    def __init__(self, machine, fail_on):
+        self.machine = machine
+        self.topology = machine.topology
+        self.cost = machine.cost
+        self.fail_on = set(fail_on)
+        self.calls = 0
+
+    def run(self, programs, ranks=None):
+        call = self.calls
+        self.calls += 1
+        trace = self.machine.run(programs, ranks)
+        if call in self.fail_on:
+            err = MachineError(f"flaky backend: injected failure #{call}")
+            err.failed_ranks = (call % self.machine.n_procs,)
+            raise err
+        return trace
+
+
+@st.composite
+def recovery_cases(draw):
+    p = draw(st.integers(min_value=1, max_value=4))
+    n = draw(st.integers(min_value=max(10, 3 * p), max_value=24))
+    kind = draw(st.sampled_from(["block", "cyclic", "blockcyclic-2"]))
+    off_l = draw(st.integers(min_value=1, max_value=2))
+    off_r = draw(st.integers(min_value=1, max_value=2))
+    iters = draw(st.integers(min_value=2, max_value=7))
+    every = draw(st.integers(min_value=1, max_value=iters))
+    legs = -(-iters // every)
+    # tear up to 2 of the legs; a retried leg gets a fresh call index,
+    # so indices may also land on retry calls -- both are fair game as
+    # long as the total stays under the budget
+    kills = draw(st.sets(
+        st.integers(min_value=0, max_value=legs + 1),
+        min_size=1, max_size=2,
+    ))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return p, n, kind, off_l, off_r, iters, every, frozenset(kills), seed
+
+
+@given(recovery_cases())
+@settings(max_examples=25, deadline=None)
+def test_supervised_recovery_bit_identical_within_budget(case):
+    p, n, kind, off_l, off_r, iters, every, kills, seed = case
+
+    ref_sess, ref_prog, x0 = build_program(p, n, kind, off_l, off_r, seed)
+    ref_prog.run(X=x0, iters=iters)
+    want = {name: a.to_global().copy() for name, a in ref_prog.arrays.items()}
+
+    sess, prog, _ = build_program(p, n, kind, off_l, off_r, seed)
+    flaky = FlakyBackend(sess.machine, kills)
+    budget = len(kills) + 1
+    sup = Supervisor(sess, SupervisorPolicy(
+        max_retries=budget, degrade_after=budget + 1,
+        backoff_base=0.0, jitter=0.0, sleep=lambda s: None,
+    ))
+    sup.run(prog, X=x0, iters=iters, checkpoint_every=every, backend=flaky)
+
+    for name, a in prog.arrays.items():
+        np.testing.assert_array_equal(a.to_global(), want[name])
+
+    log = sup.log
+    # budget respected, nothing gave up or degraded
+    assert log.retries <= budget
+    assert log.gave_up == 0 and log.degradations == 0
+    assert log.retries == len([k for k in kills if k < flaky.calls])
+    # every retry resumed from a checkpointed sweep cursor: a multiple
+    # of the leg size, strictly before the run's end, never regressing
+    cursors = [e.sweep for e in log]
+    assert all(c % every == 0 or c == iters for c in cursors)
+    assert cursors == sorted(cursors)
+    assert all(0 <= c < iters for c in cursors)
+
+
+@given(recovery_cases())
+@settings(max_examples=10, deadline=None)
+def test_supervised_equals_plain_checkpointed_run_without_faults(case):
+    """The degenerate sweep: no faults -> supervised == plain run()."""
+    p, n, kind, off_l, off_r, iters, every, _, seed = case
+
+    ref_sess, ref_prog, x0 = build_program(p, n, kind, off_l, off_r, seed)
+    ref_prog.run(X=x0, iters=iters)
+    want = ref_prog.arrays["X"].to_global().copy()
+
+    sess, prog, _ = build_program(p, n, kind, off_l, off_r, seed)
+    sup = Supervisor(sess, SupervisorPolicy(sleep=lambda s: None))
+    sup.run(prog, X=x0, iters=iters, checkpoint_every=every)
+    np.testing.assert_array_equal(prog.arrays["X"].to_global(), want)
+    assert len(sup.log) == 0
+    assert prog.latest_checkpoint().sweep == iters

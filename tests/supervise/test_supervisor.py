@@ -1,0 +1,356 @@
+"""The self-healing runtime: Supervisor, SupervisorPolicy, RecoveryLog.
+
+Three layers of coverage:
+
+* real-fault drills -- ``repro.faults.kill_rank`` kills multiprocessing
+  ranks mid-Jacobi and the Supervisor must deliver results
+  bit-identical to an uninterrupted run, resuming from the latest
+  checkpoint (never sweep 0);
+* deterministic fault drills against a test-local ``FlakyBackend``
+  (raises ``MachineError`` on scheduled run indices *after* mutating
+  state, emulating a torn run) -- retry budget, degradation to the
+  simulator, gave-up propagation, RecoveryLog accounting;
+* policy/plumbing units -- backoff series, validation, stats surfacing,
+  ``Program.run(checkpoint_every=)`` and ``latest_checkpoint()``.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    Machine,
+    MachineError,
+    RecoveryLog,
+    Session,
+    Supervisor,
+    SupervisorPolicy,
+    ValidationError,
+    faults,
+)
+from repro.machine.backend import Backend
+
+SRC = """
+processors procs(2)
+real x(0:15) dist (block)
+real y(0:15) dist (block)
+doall (i) = [1, 14] on owner(y(i))
+  y(i) = 0.5*(x(i-1) + x(i+1))
+end doall
+doall (i) = [1, 14] on owner(x(i))
+  x(i) = y(i) + 0.25*x(i)
+end doall
+"""
+
+JACOBI = """
+processors procs(4)
+real X(0:17, 0:17) dist (block, *)
+real F(0:17, 0:17) dist (block, *)
+doall (i, j) = [1, 16] * [1, 16] on owner(X(i, j))
+  X(i, j) = 0.25*(X(i+1, j) + X(i-1, j) + X(i, j+1) + X(i, j-1)) - F(i, j)
+end doall
+"""
+
+
+def _fresh(src=SRC, n_procs=4, backend=None):
+    sess = Session(Machine(n_procs=n_procs), backend=backend)
+    return sess, repro.compile(src, session=sess)
+
+
+def _policy(**kw):
+    kw.setdefault("sleep", lambda s: None)
+    kw.setdefault("seed", 0)
+    kw.setdefault("backoff_base", 0.01)
+    return SupervisorPolicy(**kw)
+
+
+class FlakyBackend(Backend):
+    """Delegates to the simulator, then fails on scheduled run indices.
+
+    The failure is raised *after* the run mutated array state -- a torn
+    run -- so bit-identity of the supervised result proves the
+    Supervisor actually restored the checkpoint rather than just
+    re-running.
+    """
+
+    def __init__(self, machine, fail_on=(), ranks=(1,)):
+        self.machine = machine
+        self.topology = machine.topology
+        self.cost = machine.cost
+        self.fail_on = set(fail_on)
+        self.failed_ranks = tuple(ranks)
+        self.calls = 0
+
+    def run(self, programs, ranks=None):
+        call = self.calls
+        self.calls += 1
+        trace = self.machine.run(programs, ranks)
+        if call in self.fail_on:
+            err = MachineError(f"flaky backend: injected failure #{call}")
+            err.failed_ranks = self.failed_ranks
+            raise err
+        return trace
+
+
+# ----------------------------------------------------------------------
+# Real-fault drill: killed multiprocessing ranks, bit-identical recovery
+# ----------------------------------------------------------------------
+
+
+def test_supervised_mp_run_survives_killed_ranks_bit_identical():
+    rng = np.random.default_rng(7)
+    f = 1e-3 * rng.standard_normal((18, 18))
+
+    ref_sess, ref = _fresh(JACOBI)
+    ref.run(X=np.zeros((18, 18)), F=f, iters=8)
+    want = ref.arrays["X"].to_global().copy()
+
+    sess, prog = _fresh(JACOBI, backend="multiprocessing")
+    sup = Supervisor(sess, _policy(max_retries=3))
+    try:
+        with faults.kill_rank((2, 3), sweep=3, times=1) as fault:
+            sup.run(prog, X=np.zeros((18, 18)), F=f, iters=8,
+                    checkpoint_every=2)
+    finally:
+        sess.close_backend()
+
+    np.testing.assert_array_equal(prog.arrays["X"].to_global(), want)
+    assert fault.fired and fault.remaining == 0
+    summary = sess.stats()["recovery"]
+    assert summary["retries"] == 1 and summary["gave_up"] == 0
+    # resumed from the latest checkpoint, not from sweep 0: the kill at
+    # worker sweep 3 lands in the second 2-sweep leg, after the sweep-2
+    # incremental checkpoint
+    assert summary["last"]["sweep"] == 2
+    assert summary["last"]["action"] == "retry"
+    assert summary["last"]["ranks"]
+    assert not sup.degraded
+
+
+def test_supervised_mp_run_delayed_death_still_recovers():
+    sess, prog = _fresh(SRC, n_procs=2, backend="multiprocessing")
+    ref_sess, ref = _fresh(SRC, n_procs=2)
+    x0 = np.arange(16.0)
+    ref.run(x=x0, iters=4)
+    want = ref.arrays["x"].to_global().copy()
+
+    sup = Supervisor(sess, _policy(max_retries=2))
+    try:
+        with faults.kill_rank(1, sweep=1, delay_s=0.05, times=1):
+            sup.run(prog, x=x0, iters=4, checkpoint_every=1)
+    finally:
+        sess.close_backend()
+    np.testing.assert_array_equal(prog.arrays["x"].to_global(), want)
+    assert sess.stats()["recovery"]["retries"] == 1
+
+
+# ----------------------------------------------------------------------
+# Deterministic drills on FlakyBackend
+# ----------------------------------------------------------------------
+
+
+def test_torn_run_restored_and_result_bit_identical():
+    ref_sess, ref = _fresh()
+    x0 = np.linspace(-1.0, 1.0, 16)
+    ref.run(x=x0, iters=6)
+    want = ref.arrays["x"].to_global().copy()
+
+    sess, prog = _fresh()
+    flaky = FlakyBackend(sess.machine, fail_on={1, 3})
+    sup = Supervisor(sess, _policy(max_retries=4))
+    sup.run(prog, x=x0, iters=6, checkpoint_every=2, backend=flaky)
+
+    np.testing.assert_array_equal(prog.arrays["x"].to_global(), want)
+    log = sup.log
+    assert log.retries == 2 and log.gave_up == 0
+    assert [e.action for e in log] == ["retry", "retry"]
+    # each retry resumed from the sweep cursor of its latest checkpoint
+    assert [e.sweep for e in log] == [2, 4]
+    assert all(e.ranks == (1,) for e in log)
+
+
+def test_retry_budget_exhaustion_reraises_and_logs_gave_up():
+    sess, prog = _fresh()
+    # every call fails; degrade_after > max_retries so degradation
+    # cannot mask the exhaustion
+    flaky = FlakyBackend(sess.machine, fail_on=set(range(100)))
+    sup = Supervisor(sess, _policy(max_retries=2, degrade_after=10))
+    with pytest.raises(MachineError, match="injected failure"):
+        sup.run(prog, x=np.zeros(16), iters=4, checkpoint_every=1,
+                backend=flaky)
+    log = sup.log
+    assert log.retries == 2 and log.gave_up == 1
+    assert [e.action for e in log] == ["retry", "retry", "gave-up"]
+    assert sess.stats()["recovery"]["gave_up"] == 1
+
+
+def test_degrades_to_simulator_with_loud_warning_and_finishes():
+    ref_sess, ref = _fresh()
+    x0 = np.arange(16.0) / 4.0
+    ref.run(x=x0, iters=5)
+    want = ref.arrays["x"].to_global().copy()
+
+    sess, prog = _fresh()
+    flaky = FlakyBackend(sess.machine, fail_on=set(range(100)))
+    sup = Supervisor(sess, _policy(max_retries=5, degrade_after=2))
+    with pytest.warns(RuntimeWarning, match="degrading the remaining"):
+        sup.run(prog, x=x0, iters=5, checkpoint_every=2, backend=flaky)
+
+    np.testing.assert_array_equal(prog.arrays["x"].to_global(), want)
+    assert sup.degraded
+    log = sup.log
+    assert log.degradations == 1
+    assert [e.action for e in log] == ["retry", "degrade"]
+    assert log.events[-1].backend == "simulator"
+    # degradation is sticky: the next supervised run starts on the
+    # simulator and never touches the flaky backend again
+    calls_before = flaky.calls
+    sup.run(prog, x=x0, iters=1, backend=flaky)
+    assert flaky.calls == calls_before
+    sup.reset_degradation()
+    assert not sup.degraded
+
+
+def test_consecutive_counter_resets_on_success():
+    """Two isolated failures never degrade when degrade_after=2 needs
+    them *consecutive*."""
+    sess, prog = _fresh()
+    flaky = FlakyBackend(sess.machine, fail_on={0, 2})
+    sup = Supervisor(sess, _policy(max_retries=5, degrade_after=2))
+    sup.run(prog, x=np.zeros(16), iters=4, checkpoint_every=1,
+            backend=flaky)
+    assert sup.log.retries == 2
+    assert sup.log.degradations == 0
+    assert not sup.degraded
+
+
+def test_supervised_run_batch_retries_whole_batch():
+    sess, prog = _fresh()
+    binds = [{"x": np.full(16, float(b))} for b in range(3)]
+    ref_sess, ref = _fresh()
+    ref_res = ref.run_batch(binds, iters=2)
+
+    calls = {"n": 0}
+    orig = prog.run_batch
+
+    def flaky_batch(bindings, **kw):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            err = MachineError("batch backend fell over")
+            err.failed_ranks = (0, 1)
+            raise err
+        return orig(bindings, **kw)
+
+    prog.run_batch = flaky_batch
+    sup = Supervisor(sess, _policy(max_retries=2))
+    res = sup.run_batch(prog, binds, iters=2)
+    assert calls["n"] == 2
+    np.testing.assert_array_equal(res["x"][-1], ref_res["x"][-1])
+    assert sup.log.retries == 1
+    assert sup.log.events[-1].sweep == 0
+
+
+# ----------------------------------------------------------------------
+# Policy, log, and plumbing units
+# ----------------------------------------------------------------------
+
+
+def test_policy_backoff_series_and_cap():
+    p = SupervisorPolicy(backoff_base=0.1, backoff_factor=2.0,
+                         backoff_max=0.5, jitter=0.0)
+    assert [round(p.backoff(n), 3) for n in range(1, 6)] == \
+        [0.1, 0.2, 0.4, 0.5, 0.5]
+    # jitter stretches, never shrinks, and is seeded
+    pj = SupervisorPolicy(backoff_base=0.1, jitter=0.5, seed=42)
+    vals = [pj.backoff(1) for _ in range(8)]
+    assert all(0.1 <= v <= 0.15 for v in vals)
+    pj2 = SupervisorPolicy(backoff_base=0.1, jitter=0.5, seed=42)
+    assert vals == [pj2.backoff(1) for _ in range(8)]
+
+
+@pytest.mark.parametrize("kw", [
+    {"max_retries": -1},
+    {"degrade_after": 0},
+    {"checkpoint_every": 0},
+    {"jitter": -0.1},
+])
+def test_policy_validates_knobs(kw):
+    with pytest.raises(ValidationError):
+        SupervisorPolicy(**kw)
+
+
+def test_supervisor_rejects_bad_run_args():
+    sess, prog = _fresh()
+    sup = Supervisor(sess)
+    with pytest.raises(ValidationError, match="iters"):
+        sup.run(prog, iters=0)
+    with pytest.raises(ValidationError, match="checkpoint_every"):
+        sup.run(prog, iters=1, checkpoint_every=0)
+
+
+def test_recovery_log_ring_is_bounded_counters_exact():
+    from repro.supervise import _MAX_EVENTS, RecoveryEvent
+
+    log = RecoveryLog()
+    n = _MAX_EVENTS + 40
+    for k in range(n):
+        log.record(RecoveryEvent(
+            cause="c", ranks=(0,), sweep=k, backoff_s=0.0,
+            attempt=k + 1, action="retry", backend="simulator",
+        ))
+    assert len(log) == _MAX_EVENTS
+    assert log.retries == n
+    assert log.summary()["last"]["sweep"] == n - 1
+
+
+def test_stats_surfaces_recovery_none_until_supervised():
+    sess, _ = _fresh()
+    assert sess.stats()["recovery"] is None
+    sup = Supervisor(sess)
+    assert sess.stats()["recovery"] == sup.log.summary()
+    assert sess.stats()["recovery"]["retries"] == 0
+
+
+def test_unsupervised_success_equals_plain_run():
+    """No faults: the supervised run is plain run() plus checkpoints."""
+    ref_sess, ref = _fresh()
+    x0 = np.arange(16.0)
+    t_ref = ref.run(x=x0, iters=5)
+    want = ref.arrays["x"].to_global().copy()
+
+    sess, prog = _fresh()
+    sup = Supervisor(sess, _policy())
+    t = sup.run(prog, x=x0, iters=5, checkpoint_every=2)
+    np.testing.assert_array_equal(prog.arrays["x"].to_global(), want)
+    assert len(sup.log) == 0
+    # the returned trace is the final leg's (1 sweep of the 2+2+1 legs)
+    assert t.makespan() > 0.0 and t_ref.makespan() > 0.0
+
+
+# ----------------------------------------------------------------------
+# Program.run(checkpoint_every=) and latest_checkpoint()
+# ----------------------------------------------------------------------
+
+
+def test_run_checkpoint_every_bit_identical_and_cursor_advances():
+    ref_sess, ref = _fresh()
+    x0 = np.linspace(0.0, 3.0, 16)
+    ref.run(x=x0, iters=7)
+    want = ref.arrays["x"].to_global().copy()
+
+    sess, prog = _fresh()
+    prog.run(x=x0, iters=7, checkpoint_every=3)
+    np.testing.assert_array_equal(prog.arrays["x"].to_global(), want)
+    latest = prog.latest_checkpoint()
+    assert latest is not None
+    assert latest.sweep == 7
+    assert latest.kind == "full"          # hydrated view
+    assert prog.ckpt_latest.kind == "incremental"
+    assert prog.ckpt_base.sweep == 0
+
+
+def test_run_checkpoint_every_validates():
+    sess, prog = _fresh()
+    with pytest.raises(ValidationError, match="checkpoint_every"):
+        prog.run(x=np.zeros(16), checkpoint_every=0)
+    assert prog.latest_checkpoint() is None

@@ -29,6 +29,8 @@ REQUIRED = {
     "Session", "Program", "compile",
     "SessionPool", "Server", "run_batch", "BatchResult",
     "Checkpoint", "checkpoint", "restore", "morph",
+    "Supervisor", "SupervisorPolicy", "RecoveryLog", "faults",
+    "ServerOverloadError",
     "tune", "TuneResult", "CalibratedCostModel", "calibrate",
 }
 

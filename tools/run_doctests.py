@@ -22,12 +22,14 @@ DEFAULT_MODULES = [
     "repro.compiler.commsched",
     "repro.compiler.estimate",
     "repro.compiler.schedule",
+    "repro.faults",
     "repro.lang.context",
     "repro.lang.expr",
     "repro.machine.costmodel",
     "repro.machine.trace",
     "repro.serve",
     "repro.session",
+    "repro.supervise",
 ]
 
 

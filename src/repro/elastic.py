@@ -379,7 +379,11 @@ def checkpoint(session, *, sweep: int = 0, base: Checkpoint | None = None,
     arrays whose values and layout are unchanged since ``base`` elide
     their data (``data=None``) and are re-hydrated by
     :meth:`Checkpoint.merged` -- the cheap per-sweep-boundary snapshot
-    that makes ``checkpoint_every=`` affordable.
+    that makes ``checkpoint_every=`` affordable.  ``base`` may itself
+    be a hydrated ``merged()`` result: the checkpointed-run drivers
+    chain each boundary's delta against the *previous* boundary's
+    snapshot (not the sweep-0 base), so an array that changed once and
+    then went quiescent elides its data again at later boundaries.
     """
     if programs is None:
         programs = _loop_programs(session)

@@ -45,8 +45,11 @@ class KillRank:
     ``delay_s`` sleeps before dying, modeling a slow death / delayed
     recovery.  ``times`` bounds how many *pool failures* the fault
     causes before it disarms itself (``None`` = never disarms): the
-    parent counts failures via the backend's fault observer, so after
-    the budget is spent the Supervisor's next retry runs clean.
+    parent counts failures via the backend's fault observer -- only
+    failures whose ranks intersect the armed rank(s), so an unrelated
+    crash elsewhere never consumes the budget -- and after the budget
+    is spent the Supervisor's next retry runs clean.  ``fired`` records
+    *every* observed pool failure, caused or not.
 
     Use as a context manager (or call :meth:`arm`/:meth:`disarm`);
     only one fault can be armed at a time.
@@ -88,14 +91,23 @@ class KillRank:
         self._armed = False
 
     def _observe(self, failed_ranks: tuple) -> None:
-        self.fired.append(tuple(failed_ranks))
-        if self.remaining is not None:
-            self.remaining -= 1
-            if self.remaining <= 0 and self._armed:
-                # budget spent: the fault becomes a no-op for respawned
-                # pools (workers fork after this point see no spec)
-                if mpbackend._FAULT_INJECTION is self.spec:
-                    mpbackend._FAULT_INJECTION = None
+        failed = tuple(failed_ranks)
+        self.fired.append(failed)
+        if self.remaining is None:
+            return
+        rank = self.spec["rank"]
+        mine = set(rank) if isinstance(rank, (tuple, list, set)) else {rank}
+        if not mine.intersection(failed):
+            # an unrelated pool failure (e.g. a genuine crash on another
+            # rank) must not consume the firing budget: the armed fault
+            # did not cause it and has yet to fire
+            return
+        self.remaining -= 1
+        if self.remaining <= 0 and self._armed:
+            # budget spent: the fault becomes a no-op for respawned
+            # pools (workers fork after this point see no spec)
+            if mpbackend._FAULT_INJECTION is self.spec:
+                mpbackend._FAULT_INJECTION = None
 
     def __enter__(self) -> "KillRank":
         return self.arm()

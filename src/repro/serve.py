@@ -364,20 +364,30 @@ class Server:
         with self._lock:
             if self._closed:
                 raise ValidationError("Server is closed")
-            self._admit_locked()
+            probe = self._admit_locked()
             self._inflight += 1
         t_deadline = None if deadline is None else perf_counter() + deadline
         try:
             return self._executor.submit(
-                self._serve, call, args, kwargs, t_deadline
+                self._serve, call, args, kwargs, t_deadline, probe
             )
-        except BaseException:
+        except BaseException as exc:
             with self._lock:
                 self._inflight -= 1
+                if probe:
+                    self._probe_inflight = False
+            if isinstance(exc, RuntimeError) and self._closed:
+                # lost the race with close(): the executor shut down
+                # between the admission check and the submit
+                raise ValidationError("Server is closed") from exc
             raise
 
-    def _admit_locked(self) -> None:
-        """Admission control + circuit breaker gate (holding _lock)."""
+    def _admit_locked(self) -> bool:
+        """Admission control + circuit breaker gate (holding _lock).
+
+        Returns True when the admitted request is the circuit breaker's
+        half-open probe -- its outcome (and only its outcome) decides
+        whether the circuit closes or re-opens."""
         now = perf_counter()
         if self._circuit == "open":
             remaining = self._circuit_open_until - now
@@ -407,6 +417,8 @@ class Server:
             )
         if self._circuit == "half-open":
             self._probe_inflight = True
+            return True
+        return False
 
     def _retry_after_locked(self) -> float:
         """Queue-drain estimate: p50 latency x queue depth / threads."""
@@ -415,32 +427,37 @@ class Server:
         depth = max(1, self._inflight - self.threads + 1)
         return max(0.01, p50 * depth / self.threads)
 
-    def _circuit_note_locked(self, ok: bool, exc=None) -> None:
+    def _circuit_note_locked(self, ok: bool, exc=None, *,
+                             probe: bool = False) -> None:
         """Feed one request outcome to the circuit breaker (holding _lock).
 
         Only backend failures (:class:`MachineError`) count toward
         tripping: caller errors (bad bindings, closed pools) and
-        deadline expiries say nothing about backend health.
+        deadline expiries say nothing about backend health.  ``probe``
+        marks the half-open probe request: while the circuit is open or
+        half-open, only the probe's outcome moves the state -- a
+        straggler admitted before the trip that completes during the
+        cooldown must not close (or re-trip) the circuit early.
         """
-        if ok:
-            self._circuit_failures = 0
-            self._circuit = "closed"
+        if probe:
             self._probe_inflight = False
+        if ok:
+            if probe or self._circuit == "closed":
+                self._circuit = "closed"
+                self._circuit_failures = 0
             return
         if not isinstance(exc, MachineError):
-            if self._circuit == "half-open":
-                # probe finished inconclusively: allow another probe
-                self._probe_inflight = False
+            # inconclusive: a finished probe (cleared above) lets the
+            # next admit send another one
             return
         self._circuit_failures += 1
-        if self._circuit == "half-open" \
-                or self._circuit_failures >= self.circuit_threshold:
+        if probe or (self._circuit == "closed"
+                     and self._circuit_failures >= self.circuit_threshold):
             self._circuit = "open"
             self._circuit_open_until = perf_counter() + self.circuit_cooldown
             self._circuit_failures = 0
-            self._probe_inflight = False
 
-    def _serve(self, call, args, kwargs, t_deadline=None):
+    def _serve(self, call, args, kwargs, t_deadline=None, probe=False):
         t0 = perf_counter()
         try:
             if t_deadline is not None and t0 >= t_deadline:
@@ -459,7 +476,7 @@ class Server:
                 self._requests += 1
                 self._failures += 1
                 self._inflight -= 1
-                self._circuit_note_locked(False, exc)
+                self._circuit_note_locked(False, exc, probe=probe)
             raise
         dt = perf_counter() - t0
         with self._lock:
@@ -468,7 +485,7 @@ class Server:
             self._latencies.append(dt)
             if len(self._latencies) > _MAX_LATENCIES:
                 del self._latencies[: -_MAX_LATENCIES]
-            self._circuit_note_locked(True)
+            self._circuit_note_locked(True, probe=probe)
         return out
 
     # -- elasticity --------------------------------------------------------

@@ -518,8 +518,9 @@ class Program:
         #: tune=True)`` search (None when compiled without tuning)
         self.tune_result = None
         #: mid-run checkpoint slots written by ``run(checkpoint_every=k)``:
-        #: the sweep-0 full snapshot and the latest (possibly
-        #: incremental) one -- read back hydrated via
+        #: the full (hydrated) snapshot the latest delta was diffed
+        #: against -- deltas chain boundary-to-boundary -- and the
+        #: latest (possibly incremental) one; read back hydrated via
         #: :meth:`latest_checkpoint`, which is what supervised recovery
         #: restores from
         self.ckpt_base = None
@@ -589,9 +590,10 @@ class Program:
         ``checkpoint_every=k`` (loop programs only) snapshots array
         state at every k-th sweep boundary: a full
         :class:`~repro.elastic.Checkpoint` of this program before the
-        first sweep, then a cheap *incremental* one (per-array dirty
-        deltas against that base) after each k-sweep leg, landing on
-        :attr:`ckpt_base`/:attr:`ckpt_latest`.  The run executes as
+        first sweep, then a cheap *incremental* one after each k-sweep
+        leg (per-array dirty deltas against the *previous* boundary's
+        snapshot, chained so an array that stops changing elides its
+        data again), landing on :attr:`ckpt_base`/:attr:`ckpt_latest`.  The run executes as
         ``ceil(iters/k)`` chunked legs -- results are identical to one
         un-chunked run (the split-iters invariant the elastic tests
         pin), though each leg records its own trace in the session
@@ -755,6 +757,7 @@ class Program:
         base = _checkpoint(sess, sweep=0, programs=[self])
         self.ckpt_base = base
         self.ckpt_latest = base
+        prev = base   # each boundary's delta diffs against the previous one
         trace, done = None, 0
         while done < iters:
             leg = min(checkpoint_every, iters - done)
@@ -764,9 +767,12 @@ class Program:
                 bindings=None, session=session,
             )
             done += leg
-            self.ckpt_latest = _checkpoint(
-                sess, sweep=done, base=base, programs=[self]
+            inc = _checkpoint(
+                sess, sweep=done, base=prev, programs=[self]
             )
+            self.ckpt_base = prev
+            self.ckpt_latest = inc
+            prev = inc.merged(prev)
         return trace
 
     def latest_checkpoint(self):

@@ -9,9 +9,11 @@ fatal:
 
 1. the session's worker pools are closed (the failed pool already is;
    this also quiesces siblings, un-adopting shared memory);
-2. the latest mid-run checkpoint -- taken every ``checkpoint_every``
-   sweeps as an incremental delta against the run's sweep-0 base
-   snapshot -- is restored, scoped to the failed program only;
+2. the latest mid-run checkpoint *taken by this supervised call* --
+   every ``checkpoint_every`` sweeps, as an incremental delta chained
+   against the previous boundary's snapshot -- is restored, scoped to
+   the failed program only (never a stale checkpoint left over from an
+   earlier ``checkpoint_every`` run);
 3. the run resumes from the checkpoint's sweep cursor (never sweep 0)
    after an exponential backoff with jitter, under a bounded retry
    budget;
@@ -280,6 +282,10 @@ class Supervisor:
             base = _checkpoint(sess, sweep=0, programs=[program])
             program.ckpt_base = base
             program.ckpt_latest = base
+            # the hydrated latest snapshot: what a recovery restores and
+            # what the next boundary's delta diffs against (chained, so
+            # an array that stops changing elides again)
+            resume = base
             trace, done = None, 0
             retries = consecutive = 0
             while done < iters:
@@ -291,15 +297,18 @@ class Supervisor:
                     )
                 except MachineError as exc:
                     eff_backend, retries, consecutive = self._recover(
-                        exc, program, base, sweep=done, retries=retries,
+                        exc, program, resume, sweep=done, retries=retries,
                         consecutive=consecutive, backend=eff_backend,
                     )
                     continue
                 consecutive = 0
                 done += leg
-                program.ckpt_latest = _checkpoint(
-                    sess, sweep=done, base=base, programs=[program]
+                inc = _checkpoint(
+                    sess, sweep=done, base=resume, programs=[program]
                 )
+                program.ckpt_base = resume
+                program.ckpt_latest = inc
+                resume = inc.merged(resume)
             return trace
 
     def run_batch(self, program, bindings, **kwargs):
@@ -329,13 +338,18 @@ class Supervisor:
     # -- the recovery step --------------------------------------------------
 
     def _recover(
-        self, exc, program, base, *, sweep, retries, consecutive, backend,
+        self, exc, program, resume, *, sweep, retries, consecutive, backend,
         can_degrade=True,
     ):
         """Handle one ``MachineError``: restore, back off, maybe degrade.
 
-        Returns ``(backend, retries, consecutive)`` for the next
-        attempt, or re-raises ``exc`` once the retry budget is spent.
+        ``resume`` is the checkpoint the caller intends the retry to
+        resume from -- the supervised call's own latest (hydrated)
+        snapshot, passed explicitly so recovery can never pick up a
+        stale ``program.latest_checkpoint()`` left behind by an earlier
+        checkpointed run.  Returns ``(backend, retries, consecutive)``
+        for the next attempt, or re-raises ``exc`` once the retry
+        budget is spent.
         """
         policy = self.policy
         sess = self.session
@@ -347,8 +361,6 @@ class Supervisor:
         # sibling pools and un-adopts shared memory so the restore
         # writes land in private storage
         sess.close_backend()
-        latest = program.latest_checkpoint()
-        resume = latest if latest is not None else base
         _restore(sess, resume, programs=[program], counters=False)
         if retries > policy.max_retries:
             self.log.record(RecoveryEvent(

@@ -4,7 +4,8 @@ The serialized envelope (magic + CRC-32 + length) must catch what the
 wire and the disk do to bytes: any single bit flip and any truncation
 raise :class:`ValidationError` with a message saying *what* is wrong --
 never an unpickling crash, never a silently wrong restore.  Incremental
-checkpoints (per-array dirty deltas against a sweep-0 base, with a
+checkpoints (per-array dirty deltas against a prior full snapshot --
+chained boundary-to-boundary by the checkpointed-run drivers -- with a
 sweep cursor) must hydrate via ``merged()`` to exactly the full
 snapshot they elide.
 """
@@ -200,10 +201,45 @@ def test_checkpoint_every_runs_restorable_mid_run():
     latest = prog.latest_checkpoint()
     assert latest.sweep == 6
 
-    # rewind to sweep 4 (the penultimate leg) and replay the last leg
+    # the latest delta chains from the previous boundary, not sweep 0
     mid = prog.ckpt_latest                 # incremental at sweep 6
     assert mid.kind == "incremental"
-    restore(sess, prog.ckpt_base)          # back to sweep 0
-    prog.run(iters=4)
-    restore(sess, latest)                  # forward to sweep 6 again
+    assert prog.ckpt_base.sweep == 4
+    assert mid.base_id == prog.ckpt_base.ckpt_id
+    # rewind to the sweep-4 chain base and replay the final leg
+    restore(sess, prog.ckpt_base)
+    prog.run(iters=2)
     np.testing.assert_array_equal(prog.arrays["x"].to_global(), want)
+    prog.run(iters=3)                      # drift away
+    restore(sess, latest)                  # jump straight to sweep 6
+    np.testing.assert_array_equal(prog.arrays["x"].to_global(), want)
+
+
+def test_incremental_deltas_chain_and_re_elide_quiescent_arrays():
+    """Chained deltas diff against the *previous* boundary: an array
+    that changed once and then went quiescent elides its data again at
+    later boundaries (diffing every delta against the sweep-0 base
+    would keep paying full copies forever)."""
+    sess, prog = fresh()
+    prog.run(x=np.arange(16.0), iters=1)
+    base = checkpoint(sess, sweep=0)
+    prog.run(iters=1)                      # x and y both change
+    inc1 = checkpoint(sess, sweep=1, base=base)
+    assert all(
+        snap["data"] is not None for snap in inc1.programs[0]["arrays"]
+    )
+    full1 = inc1.merged(base)
+
+    # no sweeps between the boundaries: against full1 everything is
+    # clean again, even though it all differs from the sweep-0 base
+    inc2 = checkpoint(sess, sweep=2, base=full1)
+    assert inc2.base_id == full1.ckpt_id
+    assert all(
+        snap["data"] is None for snap in inc2.programs[0]["arrays"]
+    )
+    full2 = inc2.merged(full1)
+    want = {n: a.to_global().copy() for n, a in prog.arrays.items()}
+    prog.run(iters=2)                      # drift away
+    restore(sess, full2)
+    for n, a in prog.arrays.items():
+        np.testing.assert_array_equal(a.to_global(), want[n])

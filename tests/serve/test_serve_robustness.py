@@ -260,6 +260,30 @@ def test_half_open_admits_one_probe_and_reopens_on_failure():
         srv.close()
 
 
+def test_straggler_success_does_not_close_open_circuit():
+    """A long request admitted before the breaker tripped that completes
+    during the cooldown says nothing about current backend health: the
+    circuit stays open until the cooldown/half-open probe sequence."""
+    slow = GatedProgram()
+    sick = FailingProgram(MachineError)
+    srv = Server(machine=Machine(n_procs=2), threads=2,
+                 circuit_threshold=1, circuit_cooldown=30.0)
+    try:
+        straggler = srv.submit(slow)       # admitted while closed
+        slow.started.acquire(timeout=5)
+        with pytest.raises(MachineError):
+            srv.submit(sick).result(timeout=30)
+        assert srv.health()["circuit"] == "open"
+        slow.gate.set()
+        assert straggler.result(timeout=30) == "done"
+        assert srv.health()["circuit"] == "open"
+        with pytest.raises(ServerOverloadError, match="circuit breaker"):
+            srv.submit(slow)
+    finally:
+        slow.gate.set()
+        srv.close()
+
+
 def test_caller_errors_do_not_trip_the_circuit():
     bad = FailingProgram(ValidationError)
     with Server(machine=Machine(n_procs=2), threads=1,
@@ -289,6 +313,25 @@ def test_close_is_idempotent_and_submit_after_close_raises():
     with pytest.raises(ValidationError, match="closed"):
         srv.submit(prog, x=np.zeros(8))
     assert srv.health()["status"] == "closed"
+
+
+def test_submit_racing_close_raises_validation_error():
+    """close() landing between the admission check and the executor
+    submit must still surface as the documented ValidationError, not
+    the executor's RuntimeError, and must roll the in-flight slot back."""
+    srv = Server(machine=Machine(n_procs=2), threads=1)
+    prog = srv.compile(SRC)
+    real_submit = srv._executor.submit
+
+    def racing_submit(*args, **kwargs):
+        srv.close()                        # shuts the executor down
+        return real_submit(*args, **kwargs)
+
+    srv._executor.submit = racing_submit
+    with pytest.raises(ValidationError, match="closed"):
+        srv.submit(prog, x=np.zeros(8))
+    assert srv.stats()["inflight"] == 0
+    srv.close()                            # still idempotent
 
 
 def test_close_drains_inflight_then_later_close_returns():

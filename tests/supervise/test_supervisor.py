@@ -250,6 +250,62 @@ def test_supervised_run_batch_retries_whole_batch():
     assert sup.log.events[-1].sweep == 0
 
 
+def test_run_batch_recovery_restores_pre_batch_state_not_stale_checkpoint():
+    """A mid-run checkpoint left behind by an *earlier* checkpointed run
+    must never be the batch retry's restore target: recovery resumes
+    from the pre-batch snapshot the supervised call itself took."""
+    sess, prog = _fresh()
+    prog.run(x=np.arange(16.0), iters=2, checkpoint_every=1)
+    stale = prog.latest_checkpoint()       # sweep-2 state of the old run
+    assert stale is not None
+    prog.run(iters=3)                      # state moves past the stale cursor
+    pre_batch = prog.arrays["x"].to_global().copy()
+    stale_x = next(
+        s["data"] for s in stale.programs[0]["arrays"] if s["name"] == "x"
+    )
+    assert not np.array_equal(pre_batch, stale_x)
+
+    calls = {"n": 0}
+    seen = {}
+    orig = prog.run_batch
+
+    def flaky_batch(bindings, **kw):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            # torn batch: scribble state, then fail
+            prog.arrays["x"].from_global(np.full(16, -99.0))
+            err = MachineError("batch backend fell over")
+            err.failed_ranks = (1,)
+            raise err
+        seen["x"] = prog.arrays["x"].to_global().copy()
+        return orig(bindings, **kw)
+
+    prog.run_batch = flaky_batch
+    sup = Supervisor(sess, _policy(max_retries=2))
+    sup.run_batch(prog, [{"x": np.zeros(16)}], iters=1)
+    assert calls["n"] == 2
+    np.testing.assert_array_equal(seen["x"], pre_batch)
+
+
+def test_fault_budget_ignores_unrelated_pool_failures():
+    """A pool failure the armed fault did not cause (a genuine crash on
+    another rank) is recorded but never consumes the firing budget."""
+    from repro.machine import mpbackend
+
+    f = faults.kill_rank(1, sweep=1, times=1)
+    f.arm()
+    try:
+        f._observe((3,))                    # unrelated rank died
+        assert f.remaining == 1
+        assert f.fired == [(3,)]            # observed, not charged
+        assert mpbackend._FAULT_INJECTION is f.spec   # still armed
+        f._observe((1, 2))                  # the armed rank died
+        assert f.remaining == 0
+        assert mpbackend._FAULT_INJECTION is None     # budget spent
+    finally:
+        f.disarm()
+
+
 # ----------------------------------------------------------------------
 # Policy, log, and plumbing units
 # ----------------------------------------------------------------------
@@ -346,7 +402,10 @@ def test_run_checkpoint_every_bit_identical_and_cursor_advances():
     assert latest.sweep == 7
     assert latest.kind == "full"          # hydrated view
     assert prog.ckpt_latest.kind == "incremental"
-    assert prog.ckpt_base.sweep == 0
+    # deltas chain: the latest diffs against the previous boundary's
+    # hydrated snapshot (sweep 6 of the 3+3+1 legs), not sweep 0
+    assert prog.ckpt_base.sweep == 6
+    assert prog.ckpt_latest.base_id == prog.ckpt_base.ckpt_id
 
 
 def test_run_checkpoint_every_validates():
